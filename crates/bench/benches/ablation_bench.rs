@@ -1,0 +1,21 @@
+//! Criterion bench for the ablation studies (intersection policy, prediction
+//! order, prior-art comparison) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbdr_bench::{ablations, DEFAULT_SEED};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("all_three_studies", |b| {
+        b.iter(|| {
+            let results = ablations(0.03, DEFAULT_SEED);
+            assert_eq!(results.len(), 3);
+            results
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench regenerating the workload of Figure 10 (walking scenario):
+//! one full protocol sweep (distance-based, linear DR, map-based DR) at a
+//! reduced trace scale, so `cargo bench` both times the simulator and checks
+//! the figure's qualitative shape on every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbdr_bench::{scenario_data, DEFAULT_SEED};
+use mbdr_sim::runner::RunConfig;
+use mbdr_sim::{sweep_scenario, ProtocolKind};
+use mbdr_trace::ScenarioKind;
+
+fn bench_figure(c: &mut Criterion) {
+    let data = scenario_data(ScenarioKind::Walking, 0.05, DEFAULT_SEED);
+    let accuracies = [50.0, 250.0];
+    let mut group = c.benchmark_group("fig10_walking");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| {
+            let result = sweep_scenario(
+                &data,
+                &ProtocolKind::PAPER_SET,
+                &accuracies,
+                RunConfig::default(),
+            );
+            assert_eq!(result.points.len(), 6);
+            result
+        })
+    });
+    group.finish();
+
+    // Shape check recorded once per bench run (not timed): dead reckoning must
+    // not lose to the distance-based baseline.
+    let result =
+        sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    for &a in &accuracies {
+        let base = result.point(ProtocolKind::DistanceBased, a).unwrap().metrics.updates_per_hour;
+        let map = result.point(ProtocolKind::MapBased, a).unwrap().metrics.updates_per_hour;
+        assert!(map <= base, "figure 10 shape violated at u_s = {a}");
+    }
+}
+
+criterion_group!(benches, bench_figure);
+criterion_main!(benches);

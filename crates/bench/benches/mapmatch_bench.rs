@@ -1,0 +1,36 @@
+//! Criterion micro-bench for the map matcher: matching throughput over a full
+//! city trace (the per-fix cost the source pays for running the map-based
+//! protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbdr_bench::{scenario_data, DEFAULT_SEED};
+use mbdr_mapmatch::{MapMatcher, MatcherConfig};
+use mbdr_trace::ScenarioKind;
+use std::sync::Arc;
+
+fn bench_mapmatch(c: &mut Criterion) {
+    let data = scenario_data(ScenarioKind::City, 0.05, DEFAULT_SEED);
+    let network = Arc::new(data.network.clone());
+    let mut group = c.benchmark_group("mapmatch");
+    group.sample_size(20);
+    group.bench_function("full_city_trace", |b| {
+        b.iter(|| {
+            let mut matcher = MapMatcher::for_network(
+                Arc::clone(&network),
+                MatcherConfig::with_tolerance(data.matching_tolerance),
+            );
+            let mut matched = 0usize;
+            for fix in &data.trace.fixes {
+                if matcher.update(fix.position).is_matched() {
+                    matched += 1;
+                }
+            }
+            assert!(matched > 0);
+            matched
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapmatch);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Table 1: generating the four scenario traces
+//! (map generation + trip planning + motion simulation + GPS noise).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbdr_bench::{scenario_data, DEFAULT_SEED};
+use mbdr_trace::{ScenarioKind, TraceStats};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_traces");
+    group.sample_size(10);
+    for kind in ScenarioKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let data = scenario_data(kind, 0.05, DEFAULT_SEED);
+                let stats = TraceStats::of(&data.trace);
+                assert!(stats.length_km > 0.0);
+                stats
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

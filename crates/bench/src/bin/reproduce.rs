@@ -1,0 +1,203 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p mbdr-bench --bin reproduce -- all --scale 1.0
+//! cargo run --release -p mbdr-bench --bin reproduce -- table1
+//! cargo run --release -p mbdr-bench --bin reproduce -- fig7 --csv
+//! cargo run --release -p mbdr-bench --bin reproduce -- summary
+//! cargo run --release -p mbdr-bench --bin reproduce -- updates-trace
+//! cargo run --release -p mbdr-bench --bin reproduce -- ablations --scale 0.25
+//! ```
+//!
+//! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
+//! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
+//! figure data as CSV instead of a table.
+
+use mbdr_bench::{
+    ablations, figure, figure_number, summary, table1, updates_along_route, scenario_data,
+    DEFAULT_SEED,
+};
+use mbdr_geo::format_duration_hm;
+use mbdr_sim::{render_csv, render_table, ProtocolKind};
+use mbdr_trace::ScenarioKind;
+
+struct Options {
+    command: String,
+    scale: f64,
+    seed: u64,
+    csv: bool,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut options =
+        Options { command: String::from("all"), scale: 1.0, seed: DEFAULT_SEED, csv: false };
+    let mut positional_seen = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                options.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number in (0, 1]"));
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--csv" => options.csv = true,
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other if !positional_seen => {
+                options.command = other.to_string();
+                positional_seen = true;
+            }
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+    }
+    options
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    print_usage();
+    std::process::exit(2);
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|all] \
+         [--scale F] [--seed N] [--csv]"
+    );
+}
+
+fn print_table1(scale: f64, seed: u64) {
+    println!("== Table 1: characteristics of the traces (paper values in parentheses) ==");
+    println!(
+        "{:<18} {:>10} {:>10} {:>14} {:>14}",
+        "scenario", "length", "duration", "avg speed", "max speed"
+    );
+    for row in table1(scale, seed) {
+        let (p_len, p_dur, p_avg, p_max) = row.paper;
+        println!(
+            "{:<18} {:>6.0} km ({:>3.0}) {:>8} ({}) {:>6.0} km/h ({:>3.0}) {:>6.0} km/h ({:>3.0})",
+            row.label,
+            row.stats.length_km,
+            p_len * scale,
+            format_duration_hm(row.stats.duration_s),
+            format_duration_hm(p_dur * scale),
+            row.stats.average_speed_kmh,
+            p_avg,
+            row.stats.max_speed_kmh,
+            p_max,
+        );
+    }
+    println!();
+}
+
+fn print_figure(kind: ScenarioKind, scale: f64, seed: u64, csv: bool) {
+    let result = figure(kind, scale, seed);
+    println!(
+        "== Figure {}: {} — updates per hour (absolute and % of distance-based) ==",
+        figure_number(kind),
+        kind.name()
+    );
+    if csv {
+        print!("{}", render_csv(&result));
+    } else {
+        print!("{}", render_table(&result, &ProtocolKind::PAPER_SET));
+    }
+    println!();
+}
+
+fn print_summary(scale: f64, seed: u64) {
+    let figures: Vec<_> = ScenarioKind::ALL.iter().map(|&k| figure(k, scale, seed)).collect();
+    println!("== Headline reductions (maximum over the accuracy sweep) ==");
+    println!(
+        "{:<18} {:>24} {:>24} {:>24}",
+        "scenario", "linear vs distance", "map vs linear", "map vs distance"
+    );
+    for row in summary(&figures) {
+        println!(
+            "{:<18} {:>23.1}% {:>23.1}% {:>23.1}%",
+            row.scenario, row.linear_vs_distance_pct, row.map_vs_linear_pct, row.map_vs_distance_pct
+        );
+    }
+    println!();
+    println!("paper reference points: linear vs distance up to 83% (freeway), map vs linear up");
+    println!("to 60% (freeway), map vs distance up to 91% overall.");
+    println!();
+}
+
+fn print_updates_trace(scale: f64, seed: u64) {
+    // The Fig. 3 / Fig. 6 comparison: one freeway drive, u_s = 100 m.
+    let data = scenario_data(ScenarioKind::Freeway, scale.min(0.2), seed);
+    println!("== Fig. 3 / Fig. 6 analogue: update positions along one freeway drive (u_s = 100 m) ==");
+    for (label, kind) in
+        [("linear-pred dr", ProtocolKind::Linear), ("map-based dr", ProtocolKind::MapBased)]
+    {
+        let updates = updates_along_route(&data, kind, 100.0);
+        println!("{label}: {} updates", updates.len());
+        for (i, p) in updates.iter().enumerate() {
+            println!("    #{i:<3} at ({:>9.1} m, {:>9.1} m)", p.x, p.y);
+        }
+    }
+    println!();
+}
+
+fn print_ablations(scale: f64, seed: u64, csv: bool) {
+    for ablation in ablations(scale, seed) {
+        println!("== Ablation: {} ==", ablation.name);
+        let protocols: Vec<ProtocolKind> = {
+            let mut seen = Vec::new();
+            for p in &ablation.result.points {
+                if !seen.contains(&p.protocol) {
+                    seen.push(p.protocol);
+                }
+            }
+            seen
+        };
+        if csv {
+            print!("{}", render_csv(&ablation.result));
+        } else {
+            print!("{}", render_table(&ablation.result, &protocols));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    if !(options.scale > 0.0 && options.scale <= 1.0) {
+        die("--scale must be in (0, 1]");
+    }
+    match options.command.as_str() {
+        "table1" => print_table1(options.scale, options.seed),
+        "fig7" => print_figure(ScenarioKind::Freeway, options.scale, options.seed, options.csv),
+        "fig8" => print_figure(ScenarioKind::Interurban, options.scale, options.seed, options.csv),
+        "fig9" => print_figure(ScenarioKind::City, options.scale, options.seed, options.csv),
+        "fig10" => print_figure(ScenarioKind::Walking, options.scale, options.seed, options.csv),
+        "figures" => {
+            for kind in ScenarioKind::ALL {
+                print_figure(kind, options.scale, options.seed, options.csv);
+            }
+        }
+        "summary" => print_summary(options.scale, options.seed),
+        "updates-trace" => print_updates_trace(options.scale, options.seed),
+        "ablations" => print_ablations(options.scale, options.seed, options.csv),
+        "all" => {
+            print_table1(options.scale, options.seed);
+            for kind in ScenarioKind::ALL {
+                print_figure(kind, options.scale, options.seed, options.csv);
+            }
+            print_summary(options.scale, options.seed);
+            print_updates_trace(options.scale, options.seed);
+            print_ablations(options.scale, options.seed, options.csv);
+        }
+        other => die(&format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,235 @@
+//! # mbdr-bench — the experiment harness
+//!
+//! One function per paper artefact: [`table1`] regenerates Table 1,
+//! [`figure`] regenerates the data behind Figures 7–10, [`summary`] computes
+//! the headline reduction percentages, [`updates_along_route`] reproduces the
+//! Fig. 3 / Fig. 6 comparison (where along the route each protocol had to send
+//! an update), and [`ablations`] runs the additional design-choice studies
+//! DESIGN.md lists. The `reproduce` binary is a thin CLI over these functions,
+//! and the Criterion benches reuse them at reduced scale.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use mbdr_geo::Point;
+use mbdr_sim::runner::{run_protocol, RunConfig};
+use mbdr_sim::protocols::ProtocolContext;
+use mbdr_sim::{sweep_scenario, ProtocolKind, SweepResult};
+use mbdr_trace::{Scenario, ScenarioData, ScenarioKind, TraceStats};
+
+/// Default random seed used by all experiments (fixed for reproducibility).
+pub const DEFAULT_SEED: u64 = 2001;
+
+/// Builds the scenario data for one movement pattern at the given scale
+/// (1.0 = the paper's full trace length).
+pub fn scenario_data(kind: ScenarioKind, scale: f64, seed: u64) -> ScenarioData {
+    Scenario { kind, scale, seed }.build()
+}
+
+/// One row of Table 1: the scenario label and the trace statistics.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Scenario label ("car, freeway", …).
+    pub label: &'static str,
+    /// Statistics of the synthetic trace.
+    pub stats: TraceStats,
+    /// The paper's reported values for comparison (length km, duration s,
+    /// average km/h, maximum km/h).
+    pub paper: (f64, f64, f64, f64),
+}
+
+/// Regenerates Table 1 (characteristics of the four traces) at the given
+/// scale.
+pub fn table1(scale: f64, seed: u64) -> Vec<Table1Row> {
+    let paper = |kind: ScenarioKind| match kind {
+        ScenarioKind::Freeway => (163.0, 1.0 * 3600.0 + 35.0 * 60.0, 103.0, 155.0),
+        ScenarioKind::Interurban => (99.0, 1.0 * 3600.0 + 39.0 * 60.0, 60.0, 116.0),
+        ScenarioKind::City => (89.0, 2.0 * 3600.0 + 25.0 * 60.0, 34.0, 65.0),
+        ScenarioKind::Walking => (10.0, 2.0 * 3600.0 + 8.0 * 60.0, 4.6, 7.2),
+    };
+    ScenarioKind::ALL
+        .iter()
+        .map(|&kind| {
+            let data = scenario_data(kind, scale, seed);
+            Table1Row { label: kind.name(), stats: TraceStats::of(&data.trace), paper: paper(kind) }
+        })
+        .collect()
+}
+
+/// The figure each scenario corresponds to in the paper.
+pub fn figure_number(kind: ScenarioKind) -> u32 {
+    match kind {
+        ScenarioKind::Freeway => 7,
+        ScenarioKind::Interurban => 8,
+        ScenarioKind::City => 9,
+        ScenarioKind::Walking => 10,
+    }
+}
+
+/// Regenerates the data behind one of Figures 7–10: updates per hour
+/// (absolute and relative to distance-based reporting) for every requested
+/// accuracy in the paper's sweep.
+pub fn figure(kind: ScenarioKind, scale: f64, seed: u64) -> SweepResult {
+    let data = scenario_data(kind, scale, seed);
+    sweep_scenario(&data, &ProtocolKind::PAPER_SET, &kind.accuracy_sweep(), RunConfig::default())
+}
+
+/// Headline reductions derived from the four figures: the paper reports up to
+/// 83 % reduction for linear DR vs. distance-based reporting (freeway), a
+/// further up to 60 % for map-based vs. linear, and up to 91 % overall.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Maximum reduction of linear DR vs. distance-based reporting, percent.
+    pub linear_vs_distance_pct: f64,
+    /// Maximum reduction of map-based DR vs. linear DR, percent.
+    pub map_vs_linear_pct: f64,
+    /// Maximum reduction of map-based DR vs. distance-based reporting, percent.
+    pub map_vs_distance_pct: f64,
+}
+
+/// Computes the headline reduction percentages from already-computed figures.
+pub fn summary(figures: &[SweepResult]) -> Vec<SummaryRow> {
+    figures
+        .iter()
+        .map(|f| SummaryRow {
+            scenario: f.scenario.clone(),
+            linear_vs_distance_pct: f
+                .max_reduction_pct(ProtocolKind::Linear, ProtocolKind::DistanceBased)
+                .unwrap_or(0.0),
+            map_vs_linear_pct: f
+                .max_reduction_pct(ProtocolKind::MapBased, ProtocolKind::Linear)
+                .unwrap_or(0.0),
+            map_vs_distance_pct: f
+                .max_reduction_pct(ProtocolKind::MapBased, ProtocolKind::DistanceBased)
+                .unwrap_or(0.0),
+        })
+        .collect()
+}
+
+/// Update positions along one route for one protocol — the data behind the
+/// Fig. 3 (linear) vs. Fig. 6 (map-based) screenshots: "9 position updates
+/// with a linear prediction protocol" vs. "3 position updates with a map-based
+/// protocol on the same route".
+pub fn updates_along_route(
+    data: &ScenarioData,
+    protocol: ProtocolKind,
+    requested_accuracy: f64,
+) -> Vec<Point> {
+    let ctx = ProtocolContext::for_scenario(data);
+    let outcome = run_protocol(
+        &data.trace,
+        protocol.build(&ctx, requested_accuracy),
+        RunConfig::default(),
+    );
+    outcome.updates.iter().map(|u| u.state.position).collect()
+}
+
+/// An ablation study: a named sweep with a non-default protocol set.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// What the study varies.
+    pub name: String,
+    /// The sweep result.
+    pub result: SweepResult,
+}
+
+/// Runs the ablation studies listed in DESIGN.md:
+///
+/// 1. **Intersection policy** — smallest angle (paper) vs. probability-trained
+///    vs. main-road priority vs. first-link, on the city scenario, where
+///    intersections are frequent.
+/// 2. **Prediction order** — linear vs. higher-order (arc) vs. map-based, on
+///    the inter-urban scenario (long curves).
+/// 3. **Prior-art comparison** — known-route and Wolfson-style adaptive
+///    policies against the paper set, on the freeway scenario.
+pub fn ablations(scale: f64, seed: u64) -> Vec<Ablation> {
+    let accuracy_subset = [50.0, 100.0, 250.0];
+    let city = scenario_data(ScenarioKind::City, scale, seed);
+    let interurban = scenario_data(ScenarioKind::Interurban, scale, seed);
+    let freeway = scenario_data(ScenarioKind::Freeway, scale, seed);
+    vec![
+        Ablation {
+            name: "intersection policy (city)".into(),
+            result: sweep_scenario(
+                &city,
+                &[
+                    ProtocolKind::MapBased,
+                    ProtocolKind::MapProbability,
+                    ProtocolKind::MapMainRoad,
+                    ProtocolKind::MapFirstLink,
+                    ProtocolKind::DistanceBased,
+                ],
+                &accuracy_subset,
+                RunConfig::default(),
+            ),
+        },
+        Ablation {
+            name: "prediction order (inter-urban)".into(),
+            result: sweep_scenario(
+                &interurban,
+                &[
+                    ProtocolKind::Linear,
+                    ProtocolKind::HigherOrder,
+                    ProtocolKind::MapBased,
+                    ProtocolKind::DistanceBased,
+                ],
+                &accuracy_subset,
+                RunConfig::default(),
+            ),
+        },
+        Ablation {
+            name: "prior art (freeway)".into(),
+            result: sweep_scenario(
+                &freeway,
+                &[
+                    ProtocolKind::MapBased,
+                    ProtocolKind::KnownRoute,
+                    ProtocolKind::Adaptive,
+                    ProtocolKind::DisconnectionDetection,
+                    ProtocolKind::DistanceBased,
+                ],
+                &accuracy_subset,
+                RunConfig::default(),
+            ),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_rows_in_paper_order() {
+        let rows = table1(0.03, DEFAULT_SEED);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "car, freeway");
+        assert_eq!(rows[3].label, "walking person");
+        for row in &rows {
+            assert!(row.stats.length_km > 0.0);
+            assert!(row.stats.max_speed_kmh >= row.stats.average_speed_kmh);
+        }
+    }
+
+    #[test]
+    fn figure_numbers_match_the_paper() {
+        assert_eq!(figure_number(ScenarioKind::Freeway), 7);
+        assert_eq!(figure_number(ScenarioKind::Walking), 10);
+    }
+
+    #[test]
+    fn updates_along_route_shows_the_fig3_fig6_effect() {
+        let data = scenario_data(ScenarioKind::Freeway, 0.05, DEFAULT_SEED);
+        let linear = updates_along_route(&data, ProtocolKind::Linear, 100.0);
+        let map = updates_along_route(&data, ProtocolKind::MapBased, 100.0);
+        assert!(!map.is_empty());
+        assert!(
+            map.len() <= linear.len(),
+            "map-based ({}) must not need more updates than linear ({})",
+            map.len(),
+            linear.len()
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Distance-based reporting: the non-dead-reckoning baseline.
+//!
+//! "The distance-based protocol sends an update whenever the actual position
+//! deviates from the last reported position by more than a given threshold"
+//! (paper, Section 4; introduced in the authors' earlier work \[6\]). The
+//! server simply assumes the object rests at its last reported position, so
+//! the shared prediction function is [`StaticPredictor`]. All of the paper's
+//! figures normalise the dead-reckoning protocols against this baseline.
+
+use crate::predictor::{Predictor, StaticPredictor};
+use crate::protocol::{DeadReckoningEngine, ProtocolConfig, Sighting, UpdateProtocol};
+use crate::state::{ObjectState, Update};
+use std::sync::Arc;
+
+/// The distance-based reporting protocol.
+#[derive(Debug, Clone)]
+pub struct DistanceBasedReporting {
+    engine: DeadReckoningEngine,
+}
+
+impl DistanceBasedReporting {
+    /// Creates the protocol for the given accuracy bound.
+    pub fn new(config: ProtocolConfig) -> Self {
+        DistanceBasedReporting {
+            engine: DeadReckoningEngine::new(config, Arc::new(StaticPredictor)),
+        }
+    }
+}
+
+impl UpdateProtocol for DistanceBasedReporting {
+    fn name(&self) -> &str {
+        "distance-based reporting"
+    }
+
+    fn on_sighting(&mut self, s: Sighting) -> Option<Update> {
+        self.engine.decide(s.t, s.position, s.accuracy, None, || {
+            // The update only needs the position; speed and heading are not
+            // used by the static predictor.
+            ObjectState::basic(s.position, 0.0, 0.0, s.t)
+        })
+    }
+
+    fn predictor(&self) -> Arc<dyn Predictor> {
+        self.engine.predictor()
+    }
+
+    fn config(&self) -> ProtocolConfig {
+        self.engine.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbdr_geo::Point;
+
+    fn sight(t: f64, x: f64) -> Sighting {
+        Sighting { t, position: Point::new(x, 0.0), accuracy: 3.0 }
+    }
+
+    #[test]
+    fn sends_every_time_the_threshold_distance_is_covered() {
+        // 10 m/s object, 50 m requested accuracy, 3 m sensor uncertainty:
+        // an update roughly every 47 m of travel ⇒ every ~5 s.
+        let mut p = DistanceBasedReporting::new(ProtocolConfig::new(50.0));
+        let mut updates = 0;
+        for t in 0..120 {
+            if p.on_sighting(sight(t as f64, 10.0 * t as f64)).is_some() {
+                updates += 1;
+            }
+        }
+        // 1190 m of travel / 47 m per update ≈ 25, plus the initial one.
+        assert!((20..=30).contains(&updates), "got {updates}");
+    }
+
+    #[test]
+    fn stationary_object_sends_only_the_initial_update() {
+        let mut p = DistanceBasedReporting::new(ProtocolConfig::new(50.0));
+        let mut updates = 0;
+        for t in 0..100 {
+            if p.on_sighting(sight(t as f64, 0.0)).is_some() {
+                updates += 1;
+            }
+        }
+        assert_eq!(updates, 1);
+    }
+
+    #[test]
+    fn update_rate_scales_inversely_with_the_accuracy() {
+        let count = |us: f64| {
+            let mut p = DistanceBasedReporting::new(ProtocolConfig::new(us));
+            (0..600).filter(|&t| p.on_sighting(sight(t as f64, 20.0 * t as f64)).is_some()).count()
+        };
+        let tight = count(50.0);
+        let loose = count(250.0);
+        assert!(tight > loose * 3, "tight {tight}, loose {loose}");
+    }
+
+    #[test]
+    fn predictor_is_static() {
+        let p = DistanceBasedReporting::new(ProtocolConfig::new(50.0));
+        assert_eq!(p.predictor().name(), "static");
+        assert_eq!(p.config().requested_accuracy, 50.0);
+        assert!(p.name().contains("distance"));
+    }
+}

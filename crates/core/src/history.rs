@@ -1,0 +1,226 @@
+//! History-based dead reckoning: learn the map from past traces.
+//!
+//! "If no map is available, it can be generated from traces of the user's past
+//! movements. A user will often use routes repeatedly … If the movements are
+//! observed over a long time, the result is a map, which can be used as in the
+//! map-based protocols." (paper, Section 2)
+//!
+//! [`MapLearner`] turns one or more position traces into a [`RoadNetwork`]:
+//! trace points are snapped to a coarse grid, each occupied grid cell becomes
+//! a node (placed at the centroid of its points), and consecutive cells along
+//! a trace become links. Repeated journeys refine the same cells, so the
+//! learned map converges on the network of roads the user actually drives.
+//! [`HistoryBasedDeadReckoning`] is simply the map-based protocol running on
+//! such a learned map.
+
+use crate::map_based::MapBasedDeadReckoning;
+use crate::map_predictor::IntersectionPolicy;
+use crate::predictor::Predictor;
+use crate::protocol::{ProtocolConfig, Sighting, UpdateProtocol};
+use crate::state::Update;
+use mbdr_geo::Point;
+use mbdr_roadnet::{NetworkBuilder, NodeId, RoadClass, RoadNetwork};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Learns a road network from observed position traces.
+#[derive(Debug, Clone)]
+pub struct MapLearner {
+    /// Grid cell size used to cluster trace points into nodes, metres.
+    cell_size: f64,
+    /// Accumulated points per cell: (sum x, sum y, count).
+    cells: HashMap<(i64, i64), (f64, f64, u64)>,
+    /// Observed connections between cells (unordered pairs).
+    edges: Vec<((i64, i64), (i64, i64))>,
+}
+
+impl MapLearner {
+    /// Creates a learner with the given clustering cell size (typically a few
+    /// times the sensor uncertainty; 40–60 m works well for road traces).
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size > 1.0, "cell size must be at least a metre");
+        MapLearner { cell_size, cells: HashMap::new(), edges: Vec::new() }
+    }
+
+    fn cell_of(&self, p: &Point) -> (i64, i64) {
+        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
+    }
+
+    /// Number of distinct cells (future nodes) observed so far.
+    pub fn observed_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Feeds one journey (a time-ordered sequence of positions) into the
+    /// learner.
+    pub fn observe_trace<'a, I: IntoIterator<Item = &'a Point>>(&mut self, positions: I) {
+        let mut previous_cell: Option<(i64, i64)> = None;
+        for p in positions {
+            let cell = self.cell_of(p);
+            let entry = self.cells.entry(cell).or_insert((0.0, 0.0, 0));
+            entry.0 += p.x;
+            entry.1 += p.y;
+            entry.2 += 1;
+            if let Some(prev) = previous_cell {
+                if prev != cell {
+                    let key = if prev <= cell { (prev, cell) } else { (cell, prev) };
+                    if !self.edges.contains(&key) {
+                        self.edges.push(key);
+                    }
+                }
+            }
+            previous_cell = Some(cell);
+        }
+    }
+
+    /// Builds the learned road network. Cells become nodes at the centroid of
+    /// their observed points; observed cell-to-cell transitions become links.
+    pub fn build(&self) -> RoadNetwork {
+        let mut builder = NetworkBuilder::new();
+        let mut node_of_cell: HashMap<(i64, i64), NodeId> = HashMap::new();
+        // Deterministic ordering of cells so the learned map does not depend on
+        // hash-map iteration order.
+        let mut cells: Vec<_> = self.cells.iter().collect();
+        cells.sort_by_key(|(key, _)| **key);
+        for (key, (sx, sy, n)) in cells {
+            let centroid = Point::new(sx / *n as f64, sy / *n as f64);
+            node_of_cell.insert(*key, builder.add_node(centroid));
+        }
+        for (a, b) in &self.edges {
+            let (Some(&na), Some(&nb)) = (node_of_cell.get(a), node_of_cell.get(b)) else { continue };
+            if na == nb {
+                continue;
+            }
+            builder.add_straight_link(na, nb, RoadClass::Residential);
+        }
+        builder.build_unchecked()
+    }
+}
+
+/// The map-based protocol running on a map learned from past traces.
+pub struct HistoryBasedDeadReckoning {
+    inner: MapBasedDeadReckoning,
+    learned_map: Arc<RoadNetwork>,
+}
+
+impl HistoryBasedDeadReckoning {
+    /// Creates the protocol from an already-trained learner.
+    pub fn from_learner(
+        learner: &MapLearner,
+        config: ProtocolConfig,
+        interpolation_window: usize,
+        matching_tolerance: f64,
+    ) -> Self {
+        let learned_map = Arc::new(learner.build());
+        HistoryBasedDeadReckoning {
+            inner: MapBasedDeadReckoning::with_policy(
+                Arc::clone(&learned_map),
+                config,
+                interpolation_window,
+                matching_tolerance,
+                IntersectionPolicy::SmallestAngle,
+            ),
+            learned_map,
+        }
+    }
+
+    /// The learned map the protocol predicts on.
+    pub fn learned_map(&self) -> &Arc<RoadNetwork> {
+        &self.learned_map
+    }
+}
+
+impl UpdateProtocol for HistoryBasedDeadReckoning {
+    fn name(&self) -> &str {
+        "history-based dead reckoning"
+    }
+
+    fn on_sighting(&mut self, s: Sighting) -> Option<Update> {
+        self.inner.on_sighting(s)
+    }
+
+    fn predictor(&self) -> Arc<dyn Predictor> {
+        self.inner.predictor()
+    }
+
+    fn config(&self) -> ProtocolConfig {
+        self.inner.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearDeadReckoning;
+
+    /// A commute along an L-shaped road, repeated several times.
+    fn commute_positions() -> Vec<Point> {
+        let mut out = Vec::new();
+        // East for 2 km, then north for 2 km, 20 m between samples.
+        for i in 0..100 {
+            out.push(Point::new(20.0 * i as f64, 0.0));
+        }
+        for i in 0..100 {
+            out.push(Point::new(2_000.0, 20.0 * i as f64));
+        }
+        out
+    }
+
+    #[test]
+    fn learner_builds_a_connected_chain_from_a_trace() {
+        let mut learner = MapLearner::new(50.0);
+        learner.observe_trace(commute_positions().iter());
+        let map = learner.build();
+        assert!(map.node_count() > 40, "roughly one node per 50 m of the 4 km commute");
+        assert!(map.link_count() >= map.node_count() - 1);
+        assert!(map.is_connected());
+        // The learned geometry covers the commute corridor.
+        let bb = map.bounding_box().unwrap();
+        assert!(bb.contains(&Point::new(1_000.0, 0.0)));
+        assert!(bb.contains(&Point::new(2_000.0, 1_500.0)));
+    }
+
+    #[test]
+    fn repeated_observation_does_not_blow_up_the_map() {
+        let mut learner = MapLearner::new(50.0);
+        for _ in 0..5 {
+            learner.observe_trace(commute_positions().iter());
+        }
+        let cells_after_five = learner.observed_cells();
+        let map = learner.build();
+        assert_eq!(map.node_count(), cells_after_five, "same roads, same nodes");
+    }
+
+    #[test]
+    fn history_protocol_beats_linear_on_the_learned_commute() {
+        let positions = commute_positions();
+        let mut learner = MapLearner::new(50.0);
+        learner.observe_trace(positions.iter());
+        let config = ProtocolConfig::new(60.0);
+        let mut history = HistoryBasedDeadReckoning::from_learner(&learner, config, 2, 40.0);
+        let mut linear = LinearDeadReckoning::new(config, 2);
+        let run = |p: &mut dyn UpdateProtocol| {
+            positions
+                .iter()
+                .enumerate()
+                .filter(|(t, pos)| {
+                    p.on_sighting(Sighting { t: *t as f64, position: **pos, accuracy: 3.0 }).is_some()
+                })
+                .count()
+        };
+        let history_updates = run(&mut history);
+        let linear_updates = run(&mut linear);
+        assert!(
+            history_updates <= linear_updates,
+            "history {history_updates} should not lose to linear {linear_updates} on its own commute"
+        );
+        assert!(history.learned_map().link_count() > 0);
+        assert!(history.name().contains("history"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn tiny_cell_size_is_rejected() {
+        let _ = MapLearner::new(0.5);
+    }
+}

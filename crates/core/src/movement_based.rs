@@ -1,0 +1,126 @@
+//! Movement-based reporting: a PCS-style baseline.
+//!
+//! Related-work baseline (Bar-Noy et al. \[1\]): the source reports after the
+//! object has travelled a configured distance along its path (the cellular
+//! analogue counts crossed cell boundaries). Unlike distance-based reporting,
+//! the travelled *path length* is accumulated, so driving around the block and
+//! returning to the start still triggers an update.
+
+use crate::predictor::{Predictor, StaticPredictor};
+use crate::protocol::{ProtocolConfig, Sighting, UpdateProtocol};
+use crate::state::{ObjectState, Update, UpdateKind};
+use mbdr_geo::Point;
+use std::sync::Arc;
+
+/// Reporting after every `distance` metres of travelled path.
+#[derive(Debug, Clone)]
+pub struct MovementBasedReporting {
+    distance: f64,
+    config: ProtocolConfig,
+    predictor: Arc<StaticPredictor>,
+    last_position: Option<Point>,
+    travelled_since_update: f64,
+    sequence: u64,
+}
+
+impl MovementBasedReporting {
+    /// Creates a reporter that sends after every `distance` metres of travel.
+    pub fn new(distance: f64, config: ProtocolConfig) -> Self {
+        assert!(distance > 0.0, "movement threshold must be positive");
+        MovementBasedReporting {
+            distance,
+            config,
+            predictor: Arc::new(StaticPredictor),
+            last_position: None,
+            travelled_since_update: 0.0,
+            sequence: 0,
+        }
+    }
+
+    /// The movement threshold, metres.
+    pub fn distance(&self) -> f64 {
+        self.distance
+    }
+}
+
+impl UpdateProtocol for MovementBasedReporting {
+    fn name(&self) -> &str {
+        "movement-based reporting"
+    }
+
+    fn on_sighting(&mut self, s: Sighting) -> Option<Update> {
+        let kind = match self.last_position {
+            None => UpdateKind::Initial,
+            Some(prev) => {
+                self.travelled_since_update += prev.distance(&s.position);
+                self.last_position = Some(s.position);
+                if self.travelled_since_update < self.distance {
+                    return None;
+                }
+                UpdateKind::Movement
+            }
+        };
+        self.last_position = Some(s.position);
+        self.travelled_since_update = 0.0;
+        let update = Update {
+            sequence: self.sequence,
+            state: ObjectState::basic(s.position, 0.0, 0.0, s.t),
+            kind,
+        };
+        self.sequence += 1;
+        Some(update)
+    }
+
+    fn predictor(&self) -> Arc<dyn Predictor> {
+        self.predictor.clone()
+    }
+
+    fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_every_threshold_of_path_length() {
+        let mut p = MovementBasedReporting::new(100.0, ProtocolConfig::new(100.0));
+        let mut updates = 0;
+        // 10 m per second for 100 s = 1000 m of travel.
+        for t in 0..=100 {
+            let s = Sighting { t: t as f64, position: Point::new(10.0 * t as f64, 0.0), accuracy: 3.0 };
+            if p.on_sighting(s).is_some() {
+                updates += 1;
+            }
+        }
+        // Initial + one per 100 m.
+        assert!((10..=11).contains(&updates), "got {updates}");
+    }
+
+    #[test]
+    fn loops_still_count_as_movement() {
+        // Drive around a 40 m × 40 m block: net displacement returns to zero
+        // but the path length grows, so updates must still be produced.
+        let mut p = MovementBasedReporting::new(100.0, ProtocolConfig::new(100.0));
+        let corners =
+            [Point::new(0.0, 0.0), Point::new(40.0, 0.0), Point::new(40.0, 40.0), Point::new(0.0, 40.0)];
+        let mut updates = 0;
+        for lap in 0..5 {
+            for (i, c) in corners.iter().enumerate() {
+                let t = (lap * 4 + i) as f64;
+                if p.on_sighting(Sighting { t, position: *c, accuracy: 3.0 }).is_some() {
+                    updates += 1;
+                }
+            }
+        }
+        assert!(updates >= 5, "got {updates}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_is_rejected() {
+        let _ = MovementBasedReporting::new(0.0, ProtocolConfig::new(100.0));
+    }
+}

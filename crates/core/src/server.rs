@@ -1,0 +1,139 @@
+//! The server-side tracker: the location server's view of one mobile object.
+
+use crate::predictor::Predictor;
+use crate::state::{ObjectState, Update};
+use mbdr_geo::Point;
+use std::sync::Arc;
+
+/// Server-side replica for one tracked object.
+///
+/// The server stores the last reported object state and answers position
+/// queries with `pred(last reported state, t)` — the same prediction function
+/// the source uses, which is what makes the accuracy bound `u_s` hold between
+/// updates (paper, Section 2).
+#[derive(Clone)]
+pub struct ServerTracker {
+    predictor: Arc<dyn Predictor>,
+    last: Option<ObjectState>,
+    updates_applied: u64,
+    bytes_received: u64,
+    /// Highest sequence number seen (stale updates are ignored).
+    last_sequence: Option<u64>,
+}
+
+impl std::fmt::Debug for ServerTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerTracker")
+            .field("predictor", &self.predictor.name())
+            .field("last", &self.last)
+            .field("updates_applied", &self.updates_applied)
+            .field("bytes_received", &self.bytes_received)
+            .finish()
+    }
+}
+
+impl ServerTracker {
+    /// Creates a tracker that uses the given (shared) prediction function.
+    pub fn new(predictor: Arc<dyn Predictor>) -> Self {
+        ServerTracker {
+            predictor,
+            last: None,
+            updates_applied: 0,
+            bytes_received: 0,
+            last_sequence: None,
+        }
+    }
+
+    /// Applies an update received from the source. Out-of-order updates (lower
+    /// sequence number than already applied) are ignored, as the newer state
+    /// supersedes them.
+    pub fn apply(&mut self, update: &Update) {
+        if let Some(seq) = self.last_sequence {
+            if update.sequence <= seq {
+                return;
+            }
+        }
+        self.last_sequence = Some(update.sequence);
+        self.last = Some(update.state);
+        self.updates_applied += 1;
+        self.bytes_received += update.encoded_len() as u64;
+    }
+
+    /// The position the server reports for the object at time `t`, or `None`
+    /// if no update has been received yet.
+    pub fn position_at(&self, t: f64) -> Option<Point> {
+        self.last.as_ref().map(|s| self.predictor.predict(s, t))
+    }
+
+    /// The last reported state, if any.
+    pub fn last_state(&self) -> Option<&ObjectState> {
+        self.last.as_ref()
+    }
+
+    /// Number of updates applied so far.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+
+    /// Total payload bytes received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Name of the prediction function in use.
+    pub fn predictor_name(&self) -> &'static str {
+        self.predictor.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::LinearPredictor;
+    use crate::state::UpdateKind;
+
+    fn update(seq: u64, t: f64, x: f64) -> Update {
+        Update {
+            sequence: seq,
+            state: ObjectState::basic(Point::new(x, 0.0), 10.0, std::f64::consts::FRAC_PI_2, t),
+            kind: UpdateKind::DeviationBound,
+        }
+    }
+
+    #[test]
+    fn empty_tracker_knows_nothing() {
+        let t = ServerTracker::new(Arc::new(LinearPredictor));
+        assert!(t.position_at(10.0).is_none());
+        assert_eq!(t.updates_applied(), 0);
+        assert_eq!(t.predictor_name(), "linear");
+    }
+
+    #[test]
+    fn tracker_predicts_forward_from_the_last_update() {
+        let mut t = ServerTracker::new(Arc::new(LinearPredictor));
+        t.apply(&update(0, 100.0, 0.0));
+        let p = t.position_at(110.0).unwrap();
+        assert!((p.x - 100.0).abs() < 1e-9, "10 s at 10 m/s eastwards");
+        assert_eq!(t.updates_applied(), 1);
+        assert!(t.bytes_received() > 0);
+    }
+
+    #[test]
+    fn newer_updates_replace_older_ones() {
+        let mut t = ServerTracker::new(Arc::new(LinearPredictor));
+        t.apply(&update(0, 100.0, 0.0));
+        t.apply(&update(1, 200.0, 500.0));
+        let p = t.position_at(200.0).unwrap();
+        assert!((p.x - 500.0).abs() < 1e-9);
+        assert_eq!(t.updates_applied(), 2);
+    }
+
+    #[test]
+    fn stale_updates_are_ignored() {
+        let mut t = ServerTracker::new(Arc::new(LinearPredictor));
+        t.apply(&update(5, 200.0, 500.0));
+        t.apply(&update(3, 100.0, 0.0)); // arrives late, must be dropped
+        assert_eq!(t.updates_applied(), 1);
+        assert_eq!(t.last_state().unwrap().position.x, 500.0);
+    }
+}

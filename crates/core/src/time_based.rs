@@ -1,0 +1,113 @@
+//! Time-based reporting: a PCS-style baseline.
+//!
+//! Related-work baseline (Bar-Noy et al. \[1\] discuss time-, movement- and
+//! distance-based location updating for cellular networks): the source simply
+//! reports its position every `interval` seconds. It cannot guarantee an
+//! accuracy bound — the deviation between updates is `speed × interval` — but
+//! it is the natural "dumb" comparison point and the ablation benches use it
+//! to show what guarantee-driven protocols buy.
+
+use crate::predictor::{Predictor, StaticPredictor};
+use crate::protocol::{ProtocolConfig, Sighting, UpdateProtocol};
+use crate::state::{ObjectState, Update, UpdateKind};
+use std::sync::Arc;
+
+/// Periodic position reporting.
+#[derive(Debug, Clone)]
+pub struct TimeBasedReporting {
+    interval: f64,
+    config: ProtocolConfig,
+    predictor: Arc<StaticPredictor>,
+    last_sent_t: Option<f64>,
+    sequence: u64,
+}
+
+impl TimeBasedReporting {
+    /// Creates a reporter that sends every `interval` seconds.
+    pub fn new(interval: f64, config: ProtocolConfig) -> Self {
+        assert!(interval > 0.0, "reporting interval must be positive");
+        TimeBasedReporting {
+            interval,
+            config,
+            predictor: Arc::new(StaticPredictor),
+            last_sent_t: None,
+            sequence: 0,
+        }
+    }
+
+    /// The reporting interval, seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+}
+
+impl UpdateProtocol for TimeBasedReporting {
+    fn name(&self) -> &str {
+        "time-based reporting"
+    }
+
+    fn on_sighting(&mut self, s: Sighting) -> Option<Update> {
+        let due = match self.last_sent_t {
+            None => true,
+            Some(last) => s.t - last >= self.interval - 1e-9,
+        };
+        if !due {
+            return None;
+        }
+        let kind = if self.last_sent_t.is_none() { UpdateKind::Initial } else { UpdateKind::Periodic };
+        self.last_sent_t = Some(s.t);
+        let update = Update {
+            sequence: self.sequence,
+            state: ObjectState::basic(s.position, 0.0, 0.0, s.t),
+            kind,
+        };
+        self.sequence += 1;
+        Some(update)
+    }
+
+    fn predictor(&self) -> Arc<dyn Predictor> {
+        self.predictor.clone()
+    }
+
+    fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbdr_geo::Point;
+
+    #[test]
+    fn sends_exactly_once_per_interval() {
+        let mut p = TimeBasedReporting::new(10.0, ProtocolConfig::new(100.0));
+        let mut updates = 0;
+        for t in 0..100 {
+            let s = Sighting { t: t as f64, position: Point::new(t as f64, 0.0), accuracy: 3.0 };
+            if p.on_sighting(s).is_some() {
+                updates += 1;
+            }
+        }
+        assert_eq!(updates, 10);
+        assert_eq!(p.interval(), 10.0);
+    }
+
+    #[test]
+    fn first_update_is_immediate_and_marked_initial() {
+        let mut p = TimeBasedReporting::new(60.0, ProtocolConfig::new(100.0));
+        let u = p
+            .on_sighting(Sighting { t: 5.0, position: Point::ORIGIN, accuracy: 3.0 })
+            .expect("immediate first update");
+        assert_eq!(u.kind, UpdateKind::Initial);
+        assert!(p
+            .on_sighting(Sighting { t: 6.0, position: Point::ORIGIN, accuracy: 3.0 })
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_is_rejected() {
+        let _ = TimeBasedReporting::new(0.0, ProtocolConfig::new(100.0));
+    }
+}

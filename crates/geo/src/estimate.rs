@@ -1,0 +1,228 @@
+//! Speed and direction estimation from the last *n* position sightings.
+//!
+//! The paper (Section 2, footnote 1, and Section 4) does not assume that the
+//! positioning sensor reports speed and heading directly; instead they are
+//! "interpolated from 2 consecutive positions ... in case of freeway traffic,
+//! from 4 positions in case of city or inter-urban traffic and from 8
+//! positions in case of a walking person". Larger windows smooth out GPS noise
+//! at the cost of lag; the optimum depends on the object's speed relative to
+//! the sensor uncertainty.
+//!
+//! [`MotionEstimator`] implements exactly that sliding-window least-effort
+//! estimator: speed is total path length over elapsed time, direction is the
+//! displacement from the oldest to the newest fix in the window.
+
+use crate::point::Point;
+use crate::vec2::Vec2;
+use std::collections::VecDeque;
+
+/// The estimated motion state derived from recent sightings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionEstimate {
+    /// Estimated scalar speed in m/s (never negative).
+    pub speed: f64,
+    /// Estimated direction of travel as a unit vector. Defaults to north when
+    /// the object has not moved.
+    pub direction: Vec2,
+    /// Estimated heading in radians clockwise from north.
+    pub heading: f64,
+    /// Number of sightings that contributed to the estimate.
+    pub window: usize,
+}
+
+impl MotionEstimate {
+    /// An estimate describing a stationary object.
+    pub fn stationary() -> Self {
+        MotionEstimate { speed: 0.0, direction: Vec2::NORTH, heading: 0.0, window: 1 }
+    }
+
+    /// The velocity vector (direction scaled by speed), m/s.
+    #[inline]
+    pub fn velocity(&self) -> Vec2 {
+        self.direction * self.speed
+    }
+}
+
+/// Sliding-window estimator of speed and direction from timestamped positions.
+#[derive(Debug, Clone)]
+pub struct MotionEstimator {
+    window: usize,
+    /// (timestamp seconds, position) pairs, oldest first.
+    samples: VecDeque<(f64, Point)>,
+}
+
+impl MotionEstimator {
+    /// Creates an estimator that uses the last `window` sightings (at least 2).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "motion estimation needs at least two sightings");
+        MotionEstimator { window, samples: VecDeque::with_capacity(window) }
+    }
+
+    /// The configured window size.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of sightings currently buffered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no sightings have been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Removes all buffered sightings.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Pushes a sighting and returns the estimate over the current window.
+    ///
+    /// Sightings must be pushed in non-decreasing timestamp order; a sighting
+    /// whose timestamp does not advance past the newest buffered one replaces
+    /// it rather than corrupting the window.
+    pub fn push(&mut self, timestamp: f64, position: Point) -> MotionEstimate {
+        if let Some(&(last_t, _)) = self.samples.back() {
+            if timestamp <= last_t {
+                self.samples.pop_back();
+            }
+        }
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((timestamp, position));
+        self.estimate()
+    }
+
+    /// The estimate over the currently buffered sightings.
+    ///
+    /// With fewer than two sightings (or zero elapsed time) the object is
+    /// reported as stationary.
+    pub fn estimate(&self) -> MotionEstimate {
+        if self.samples.len() < 2 {
+            return MotionEstimate { window: self.samples.len().max(1), ..MotionEstimate::stationary() };
+        }
+        let (t0, p0) = *self.samples.front().expect("non-empty");
+        let (t1, p1) = *self.samples.back().expect("non-empty");
+        let dt = t1 - t0;
+        if dt <= f64::EPSILON {
+            return MotionEstimate { window: self.samples.len(), ..MotionEstimate::stationary() };
+        }
+        // Speed: distance actually covered along the sample chain (robust when
+        // the object turns inside the window), divided by elapsed time.
+        let mut path = 0.0;
+        let mut prev = p0;
+        for &(_, p) in self.samples.iter().skip(1) {
+            path += prev.distance(&p);
+            prev = p;
+        }
+        let speed = path / dt;
+        // Direction: net displacement over the window (noise averages out).
+        let displacement = p1 - p0;
+        let direction = displacement.normalized_or_north();
+        MotionEstimate { speed, direction, heading: direction.heading(), window: self.samples.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_window_of_one() {
+        let _ = MotionEstimator::new(1);
+    }
+
+    #[test]
+    fn single_sample_is_stationary() {
+        let mut est = MotionEstimator::new(4);
+        let e = est.push(0.0, Point::new(5.0, 5.0));
+        assert!(approx_eq(e.speed, 0.0));
+        assert_eq!(e.direction, Vec2::NORTH);
+    }
+
+    #[test]
+    fn straight_east_motion_at_constant_speed() {
+        let mut est = MotionEstimator::new(2);
+        est.push(0.0, Point::new(0.0, 0.0));
+        let e = est.push(1.0, Point::new(10.0, 0.0));
+        assert!(approx_eq(e.speed, 10.0));
+        assert!(approx_eq(e.heading, std::f64::consts::FRAC_PI_2));
+        assert_eq!(e.window, 2);
+    }
+
+    #[test]
+    fn window_slides_and_forgets_old_samples() {
+        let mut est = MotionEstimator::new(2);
+        est.push(0.0, Point::new(0.0, 0.0));
+        est.push(1.0, Point::new(10.0, 0.0));
+        // Now the object stops; with window 2 the estimate must drop quickly.
+        let e = est.push(2.0, Point::new(10.0, 0.0));
+        assert!(approx_eq(e.speed, 0.0));
+    }
+
+    #[test]
+    fn larger_window_smooths_noise() {
+        // Zig-zag noise of ±1 m around a straight path: the 8-sample window's
+        // direction estimate should still point east.
+        let mut est = MotionEstimator::new(8);
+        let mut last = MotionEstimate::stationary();
+        for i in 0..8 {
+            let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+            last = est.push(i as f64, Point::new(5.0 * i as f64, noise));
+        }
+        assert!((last.heading - std::f64::consts::FRAC_PI_2).abs() < 0.1);
+        assert_eq!(last.window, 8);
+    }
+
+    #[test]
+    fn duplicate_timestamp_replaces_last_sample() {
+        let mut est = MotionEstimator::new(4);
+        est.push(0.0, Point::new(0.0, 0.0));
+        est.push(1.0, Point::new(5.0, 0.0));
+        // Same timestamp again with a corrected position: must not divide by 0.
+        let e = est.push(1.0, Point::new(6.0, 0.0));
+        assert!(e.speed.is_finite());
+        assert!(approx_eq(e.speed, 6.0));
+        assert_eq!(est.len(), 2);
+    }
+
+    #[test]
+    fn speed_uses_path_length_not_net_displacement() {
+        // A right-angle turn inside the window: path 20 m in 2 s = 10 m/s even
+        // though the net displacement is only ~14.1 m.
+        let mut est = MotionEstimator::new(3);
+        est.push(0.0, Point::new(0.0, 0.0));
+        est.push(1.0, Point::new(10.0, 0.0));
+        let e = est.push(2.0, Point::new(10.0, 10.0));
+        assert!(approx_eq(e.speed, 10.0));
+    }
+
+    #[test]
+    fn clear_resets_the_estimator() {
+        let mut est = MotionEstimator::new(2);
+        est.push(0.0, Point::new(0.0, 0.0));
+        est.push(1.0, Point::new(10.0, 0.0));
+        est.clear();
+        assert!(est.is_empty());
+        assert!(approx_eq(est.estimate().speed, 0.0));
+    }
+
+    #[test]
+    fn velocity_combines_speed_and_direction() {
+        let e = MotionEstimate {
+            speed: 5.0,
+            direction: Vec2::EAST,
+            heading: std::f64::consts::FRAC_PI_2,
+            window: 2,
+        };
+        assert_eq!(e.velocity(), Vec2::new(5.0, 0.0));
+    }
+}

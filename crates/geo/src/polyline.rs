@@ -1,0 +1,315 @@
+//! Polylines: the geometry of a road link with shape points.
+//!
+//! In the paper's map model (Fig. 4) a link connects two intersections and may
+//! be subdivided by *shape points* into sub-links so that curved roads can be
+//! represented. A [`Polyline`] stores that vertex chain together with
+//! cumulative arc lengths, and supports the two operations the protocols need:
+//! projecting a sensed position onto the link (map matching) and walking a
+//! given distance along the link (map-based prediction).
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+use crate::segment::Segment;
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A chain of at least two vertices in the local metric frame, with
+/// precomputed cumulative arc lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    /// `cumulative[i]` is the arc length from the first vertex to vertex `i`.
+    cumulative: Vec<f64>,
+}
+
+/// Result of projecting a point onto a [`Polyline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyProjection {
+    /// Closest point on the polyline.
+    pub point: Point,
+    /// Distance from the query point to `point`, metres.
+    pub distance: f64,
+    /// Arc length from the start of the polyline to `point`, metres.
+    pub arc_length: f64,
+    /// Index of the segment (vertex `i` → vertex `i + 1`) containing `point`.
+    pub segment_index: usize,
+}
+
+impl Polyline {
+    /// Builds a polyline from a vertex chain.
+    ///
+    /// # Panics
+    /// Panics if fewer than two vertices are supplied; a road link always has
+    /// two endpoints.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 2, "a polyline needs at least two vertices");
+        let mut cumulative = Vec::with_capacity(vertices.len());
+        let mut acc = 0.0;
+        cumulative.push(0.0);
+        for w in vertices.windows(2) {
+            acc += w[0].distance(&w[1]);
+            cumulative.push(acc);
+        }
+        Polyline { vertices, cumulative }
+    }
+
+    /// A straight two-vertex polyline.
+    pub fn straight(a: Point, b: Point) -> Self {
+        Polyline::new(vec![a, b])
+    }
+
+    /// The vertex chain.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of line segments (vertices − 1).
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// The `i`-th segment.
+    #[inline]
+    pub fn segment(&self, i: usize) -> Segment {
+        Segment::new(self.vertices[i], self.vertices[i + 1])
+    }
+
+    /// Iterator over all segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Total arc length in metres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("polyline has at least two vertices")
+    }
+
+    /// First vertex.
+    #[inline]
+    pub fn first(&self) -> Point {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    pub fn last(&self) -> Point {
+        *self.vertices.last().expect("polyline has at least two vertices")
+    }
+
+    /// Cumulative arc length from the start to vertex `i`.
+    #[inline]
+    pub fn cumulative_length(&self, i: usize) -> f64 {
+        self.cumulative[i]
+    }
+
+    /// Axis-aligned bounding box of the polyline.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(self.vertices.iter().copied())
+            .expect("polyline has at least two vertices")
+    }
+
+    /// The point at arc length `s` from the start, clamped to `[0, length]`.
+    pub fn point_at_arc_length(&self, s: f64) -> Point {
+        if s <= 0.0 {
+            return self.first();
+        }
+        let total = self.length();
+        if s >= total {
+            return self.last();
+        }
+        // Binary search for the segment containing arc length `s`.
+        let idx = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+            Ok(i) => i.min(self.segment_count() - 1),
+            Err(i) => i - 1,
+        };
+        let seg = self.segment(idx);
+        seg.point_at_distance(s - self.cumulative[idx])
+    }
+
+    /// Heading (radians clockwise from north) of the segment containing arc
+    /// length `s`.
+    pub fn heading_at_arc_length(&self, s: f64) -> f64 {
+        let idx = self.segment_index_at(s);
+        self.segment(idx).heading()
+    }
+
+    /// Direction (unit vector) of the segment containing arc length `s`.
+    pub fn direction_at_arc_length(&self, s: f64) -> Vec2 {
+        let idx = self.segment_index_at(s);
+        self.segment(idx).unit_direction()
+    }
+
+    fn segment_index_at(&self, s: f64) -> usize {
+        if s <= 0.0 {
+            return 0;
+        }
+        if s >= self.length() {
+            return self.segment_count() - 1;
+        }
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+            Ok(i) => i.min(self.segment_count() - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Projects `p` onto the polyline, returning the globally closest point
+    /// over all segments.
+    pub fn project(&self, p: &Point) -> PolyProjection {
+        let mut best = PolyProjection {
+            point: self.first(),
+            distance: f64::INFINITY,
+            arc_length: 0.0,
+            segment_index: 0,
+        };
+        for (i, seg) in self.segments().enumerate() {
+            let proj = seg.project(p);
+            if proj.distance < best.distance {
+                best = PolyProjection {
+                    point: proj.point,
+                    distance: proj.distance,
+                    arc_length: self.cumulative[i] + proj.t * seg.length(),
+                    segment_index: i,
+                };
+            }
+        }
+        best
+    }
+
+    /// Shortest distance from `p` to the polyline, metres.
+    #[inline]
+    pub fn distance_to(&self, p: &Point) -> f64 {
+        self.project(p).distance
+    }
+
+    /// The polyline traversed in the opposite direction.
+    pub fn reversed(&self) -> Polyline {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polyline::new(v)
+    }
+
+    /// Resamples the polyline at (roughly) every `step` metres of arc length,
+    /// always including both endpoints. Useful for rendering and for building
+    /// synthetic traces that follow a link.
+    pub fn resample(&self, step: f64) -> Vec<Point> {
+        assert!(step > 0.0, "resample step must be positive");
+        let total = self.length();
+        let n = (total / step).ceil().max(1.0) as usize;
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let s = (i as f64 / n as f64) * total;
+            out.push(self.point_at_arc_length(s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    /// An L-shaped polyline: 10 m east, then 10 m north.
+    fn ell() -> Polyline {
+        Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn rejects_single_vertex() {
+        let _ = Polyline::new(vec![Point::ORIGIN]);
+    }
+
+    #[test]
+    fn length_is_sum_of_segment_lengths() {
+        assert!(approx_eq(ell().length(), 20.0));
+        assert!(approx_eq(Polyline::straight(Point::ORIGIN, Point::new(3.0, 4.0)).length(), 5.0));
+    }
+
+    #[test]
+    fn cumulative_lengths_are_monotone() {
+        let p = ell();
+        assert!(approx_eq(p.cumulative_length(0), 0.0));
+        assert!(approx_eq(p.cumulative_length(1), 10.0));
+        assert!(approx_eq(p.cumulative_length(2), 20.0));
+    }
+
+    #[test]
+    fn point_at_arc_length_walks_both_segments() {
+        let p = ell();
+        assert_eq!(p.point_at_arc_length(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at_arc_length(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at_arc_length(10.0), Point::new(10.0, 0.0));
+        assert_eq!(p.point_at_arc_length(15.0), Point::new(10.0, 5.0));
+        assert_eq!(p.point_at_arc_length(20.0), Point::new(10.0, 10.0));
+        // Clamping.
+        assert_eq!(p.point_at_arc_length(-3.0), p.first());
+        assert_eq!(p.point_at_arc_length(99.0), p.last());
+    }
+
+    #[test]
+    fn heading_changes_at_the_corner() {
+        let p = ell();
+        assert!(approx_eq(p.heading_at_arc_length(5.0), std::f64::consts::FRAC_PI_2));
+        assert!(approx_eq(p.heading_at_arc_length(15.0), 0.0));
+    }
+
+    #[test]
+    fn projection_picks_the_nearest_segment() {
+        let p = ell();
+        // Point nearer the second (northbound) segment.
+        let proj = p.project(&Point::new(12.0, 6.0));
+        assert_eq!(proj.segment_index, 1);
+        assert!(approx_eq(proj.point.x, 10.0));
+        assert!(approx_eq(proj.point.y, 6.0));
+        assert!(approx_eq(proj.distance, 2.0));
+        assert!(approx_eq(proj.arc_length, 16.0));
+    }
+
+    #[test]
+    fn projection_at_the_corner_is_consistent() {
+        let p = ell();
+        let proj = p.project(&Point::new(12.0, -2.0));
+        // Closest point is the corner vertex at (10, 0), arc length 10.
+        assert!(approx_eq(proj.point.x, 10.0));
+        assert!(approx_eq(proj.point.y, 0.0));
+        assert!(approx_eq(proj.arc_length, 10.0));
+    }
+
+    #[test]
+    fn reversed_has_same_length_and_swapped_ends() {
+        let p = ell();
+        let r = p.reversed();
+        assert!(approx_eq(p.length(), r.length()));
+        assert_eq!(r.first(), p.last());
+        assert_eq!(r.last(), p.first());
+    }
+
+    #[test]
+    fn resample_includes_endpoints_and_is_dense_enough() {
+        let p = ell();
+        let pts = p.resample(3.0);
+        assert_eq!(*pts.first().unwrap(), p.first());
+        assert_eq!(*pts.last().unwrap(), p.last());
+        for w in pts.windows(2) {
+            assert!(w[0].distance(&w[1]) <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounding_box_covers_all_vertices() {
+        let bb = ell().bounding_box();
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 10.0)));
+        assert!(!bb.contains(&Point::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn distance_to_far_point() {
+        let p = Polyline::straight(Point::ORIGIN, Point::new(10.0, 0.0));
+        assert!(approx_eq(p.distance_to(&Point::new(5.0, 7.0)), 7.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Small typed unit helpers.
+//!
+//! The paper quotes speeds in km/h (Table 1) and accuracies in metres; the
+//! protocol maths runs in SI units (m, m/s, s). These aliases and conversion
+//! helpers keep the call sites readable without a heavyweight units library.
+
+/// Metres. Plain alias used in public APIs for documentation value.
+pub type Meters = f64;
+/// Metres per second.
+pub type MetersPerSecond = f64;
+/// Seconds.
+pub type Seconds = f64;
+
+/// Converts kilometres per hour to metres per second.
+#[inline]
+pub fn kmh_to_ms(kmh: f64) -> MetersPerSecond {
+    kmh / 3.6
+}
+
+/// Converts metres per second to kilometres per hour.
+#[inline]
+pub fn ms_to_kmh(ms: MetersPerSecond) -> f64 {
+    ms * 3.6
+}
+
+/// Converts kilometres to metres.
+#[inline]
+pub fn km_to_m(km: f64) -> Meters {
+    km * 1000.0
+}
+
+/// Converts metres to kilometres.
+#[inline]
+pub fn m_to_km(m: Meters) -> f64 {
+    m / 1000.0
+}
+
+/// Converts hours to seconds.
+#[inline]
+pub fn hours_to_seconds(h: f64) -> Seconds {
+    h * 3600.0
+}
+
+/// Converts seconds to hours.
+#[inline]
+pub fn seconds_to_hours(s: Seconds) -> f64 {
+    s / 3600.0
+}
+
+/// Formats a duration in seconds as `h:mm` (the format used in Table 1,
+/// e.g. `1:35 h`).
+pub fn format_duration_hm(seconds: Seconds) -> String {
+    let total_minutes = (seconds / 60.0).round() as i64;
+    let hours = total_minutes / 60;
+    let minutes = total_minutes % 60;
+    format!("{hours}:{minutes:02} h")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn speed_conversions_roundtrip() {
+        assert!(approx_eq(kmh_to_ms(36.0), 10.0));
+        assert!(approx_eq(ms_to_kmh(10.0), 36.0));
+        assert!(approx_eq(ms_to_kmh(kmh_to_ms(103.0)), 103.0));
+    }
+
+    #[test]
+    fn distance_conversions() {
+        assert!(approx_eq(km_to_m(1.5), 1500.0));
+        assert!(approx_eq(m_to_km(250.0), 0.25));
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert!(approx_eq(hours_to_seconds(1.5), 5400.0));
+        assert!(approx_eq(seconds_to_hours(5400.0), 1.5));
+    }
+
+    #[test]
+    fn duration_formatting_matches_table1_style() {
+        assert_eq!(format_duration_hm(hours_to_seconds(1.0) + 35.0 * 60.0), "1:35 h");
+        assert_eq!(format_duration_hm(hours_to_seconds(2.0) + 8.0 * 60.0), "2:08 h");
+        assert_eq!(format_duration_hm(30.0), "0:01 h");
+    }
+}

@@ -1,0 +1,26 @@
+//! # mbdr-locserver — the location service
+//!
+//! The paper's motivation is a location service that "provides, for example,
+//! the functionality to find the nearest taxi cab depending on the user's
+//! current location or to address all users that are currently inside a
+//! department of a store". This crate is that service, built on the
+//! server-side trackers of `mbdr-core`:
+//!
+//! * [`LocationService`] stores one [`mbdr_core::ServerTracker`] per tracked
+//!   object behind a [`parking_lot::RwLock`], so update ingestion (writes) and
+//!   position queries (reads) can proceed concurrently from many threads;
+//! * position queries ([`LocationService::position_of`]) extrapolate with the
+//!   object's own prediction function, exactly like the per-object server in
+//!   the update protocol;
+//! * spatial queries answer the motivating use cases: [`LocationService::objects_in_rect`]
+//!   (range query), [`LocationService::nearest_objects`] (k-nearest-neighbour,
+//!   "nearest taxi"), and [`zones::ZoneWatcher`] (enter/leave subscriptions).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod service;
+pub mod zones;
+
+pub use service::{LocationService, ObjectId, PositionReport};
+pub use zones::{ZoneEvent, ZoneEventKind, ZoneWatcher};

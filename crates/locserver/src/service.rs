@@ -1,0 +1,221 @@
+//! The multi-object location store and its queries.
+
+use mbdr_core::{Predictor, ServerTracker, Update};
+use mbdr_geo::{Aabb, Point};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a tracked mobile object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// A position answer from the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionReport {
+    /// The object the answer is about.
+    pub object: ObjectId,
+    /// Predicted position at the query time.
+    pub position: Point,
+    /// Age of the newest update this prediction is based on, seconds.
+    pub information_age: f64,
+}
+
+/// A thread-safe location service tracking many objects.
+pub struct LocationService {
+    objects: RwLock<HashMap<ObjectId, ServerTracker>>,
+}
+
+impl Default for LocationService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocationService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        LocationService { objects: RwLock::new(HashMap::new()) }
+    }
+
+    /// Registers an object with the prediction function its update protocol
+    /// uses (source and server must share the predictor — see the protocol
+    /// trait's `predictor()`).
+    pub fn register(&self, object: ObjectId, predictor: Arc<dyn Predictor>) {
+        self.objects.write().insert(object, ServerTracker::new(predictor));
+    }
+
+    /// Removes an object from the service.
+    pub fn deregister(&self, object: ObjectId) {
+        self.objects.write().remove(&object);
+    }
+
+    /// Number of registered objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Ingests an update message for an object. Returns `false` if the object
+    /// is not registered.
+    pub fn apply_update(&self, object: ObjectId, update: &Update) -> bool {
+        let mut objects = self.objects.write();
+        match objects.get_mut(&object) {
+            Some(tracker) => {
+                tracker.apply(update);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The predicted position of one object at time `t`, or `None` if the
+    /// object is unknown or has not reported yet.
+    pub fn position_of(&self, object: ObjectId, t: f64) -> Option<PositionReport> {
+        let objects = self.objects.read();
+        let tracker = objects.get(&object)?;
+        let position = tracker.position_at(t)?;
+        let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+        Some(PositionReport { object, position, information_age: age })
+    }
+
+    /// All objects whose predicted position at time `t` lies inside `area`
+    /// (the "all users inside a department" query). Results are sorted by
+    /// object id for determinism.
+    pub fn objects_in_rect(&self, area: &Aabb, t: f64) -> Vec<PositionReport> {
+        let objects = self.objects.read();
+        let mut out: Vec<PositionReport> = objects
+            .iter()
+            .filter_map(|(&id, tracker)| {
+                let position = tracker.position_at(t)?;
+                if area.contains(&position) {
+                    let age =
+                        tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+                    Some(PositionReport { object: id, position, information_age: age })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_by_key(|r| r.object);
+        out
+    }
+
+    /// The `k` objects whose predicted positions at time `t` are nearest to
+    /// `from` (the "nearest taxi" query), nearest first.
+    pub fn nearest_objects(&self, from: &Point, t: f64, k: usize) -> Vec<PositionReport> {
+        let objects = self.objects.read();
+        let mut out: Vec<(f64, PositionReport)> = objects
+            .iter()
+            .filter_map(|(&id, tracker)| {
+                let position = tracker.position_at(t)?;
+                let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+                Some((
+                    from.distance(&position),
+                    PositionReport { object: id, position, information_age: age },
+                ))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object)));
+        out.into_iter().take(k).map(|(_, r)| r).collect()
+    }
+
+    /// Total number of updates ingested across all objects.
+    pub fn total_updates(&self) -> u64 {
+        self.objects.read().values().map(|t| t.updates_applied()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbdr_core::{LinearPredictor, ObjectState, StaticPredictor, UpdateKind};
+
+    fn update(seq: u64, t: f64, x: f64, y: f64, speed: f64, heading: f64) -> Update {
+        Update {
+            sequence: seq,
+            state: ObjectState::basic(Point::new(x, y), speed, heading, t),
+            kind: UpdateKind::DeviationBound,
+        }
+    }
+
+    fn service_with_three_cars() -> LocationService {
+        let s = LocationService::new();
+        for i in 0..3 {
+            s.register(ObjectId(i), Arc::new(StaticPredictor));
+        }
+        s.apply_update(ObjectId(0), &update(0, 0.0, 0.0, 0.0, 0.0, 0.0));
+        s.apply_update(ObjectId(1), &update(0, 0.0, 100.0, 0.0, 0.0, 0.0));
+        s.apply_update(ObjectId(2), &update(0, 0.0, 0.0, 300.0, 0.0, 0.0));
+        s
+    }
+
+    #[test]
+    fn register_apply_query_roundtrip() {
+        let s = LocationService::new();
+        s.register(ObjectId(7), Arc::new(LinearPredictor));
+        assert_eq!(s.object_count(), 1);
+        assert!(s.position_of(ObjectId(7), 5.0).is_none(), "no update yet");
+        assert!(s.apply_update(ObjectId(7), &update(0, 0.0, 0.0, 0.0, 10.0, std::f64::consts::FRAC_PI_2)));
+        let report = s.position_of(ObjectId(7), 5.0).unwrap();
+        assert!((report.position.x - 50.0).abs() < 1e-9, "linear prediction applies");
+        assert!((report.information_age - 5.0).abs() < 1e-9);
+        assert_eq!(s.total_updates(), 1);
+        s.deregister(ObjectId(7));
+        assert_eq!(s.object_count(), 0);
+    }
+
+    #[test]
+    fn updates_for_unknown_objects_are_rejected() {
+        let s = LocationService::new();
+        assert!(!s.apply_update(ObjectId(9), &update(0, 0.0, 0.0, 0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn range_query_finds_objects_inside_the_area() {
+        let s = service_with_three_cars();
+        let area = Aabb::new(Point::new(-10.0, -10.0), Point::new(150.0, 50.0));
+        let inside = s.objects_in_rect(&area, 1.0);
+        assert_eq!(inside.len(), 2);
+        assert_eq!(inside[0].object, ObjectId(0));
+        assert_eq!(inside[1].object, ObjectId(1));
+    }
+
+    #[test]
+    fn nearest_query_orders_by_distance() {
+        let s = service_with_three_cars();
+        let nearest = s.nearest_objects(&Point::new(90.0, 0.0), 1.0, 2);
+        assert_eq!(nearest.len(), 2);
+        assert_eq!(nearest[0].object, ObjectId(1), "the 10 m away car first");
+        assert_eq!(nearest[1].object, ObjectId(0));
+        // k larger than the fleet returns everyone.
+        assert_eq!(s.nearest_objects(&Point::ORIGIN, 1.0, 10).len(), 3);
+    }
+
+    #[test]
+    fn concurrent_updates_and_queries_do_not_deadlock() {
+        let s = Arc::new(LocationService::new());
+        for i in 0..8 {
+            s.register(ObjectId(i), Arc::new(LinearPredictor));
+        }
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for step in 0..200u64 {
+                    let id = ObjectId((worker * 2 + step) % 8);
+                    s.apply_update(
+                        id,
+                        &update(step, step as f64, step as f64, worker as f64, 5.0, 0.0),
+                    );
+                    let _ = s.nearest_objects(&Point::ORIGIN, step as f64, 3);
+                    let _ = s.objects_in_rect(&Aabb::around(Point::ORIGIN, 500.0), step as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.total_updates() > 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Zone subscriptions: enter/leave notifications for rectangular areas.
+//!
+//! Location-aware services often want to be told when an object enters or
+//! leaves an area ("address all users that are currently inside a department
+//! of a store") rather than polling. [`ZoneWatcher`] evaluates the registered
+//! zones against the service's predicted positions and emits the transitions
+//! since its previous evaluation.
+
+use crate::service::{LocationService, ObjectId};
+use mbdr_geo::Aabb;
+use std::collections::{HashMap, HashSet};
+
+/// Whether the object entered or left the zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneEventKind {
+    /// The object was outside at the previous evaluation and is now inside.
+    Entered,
+    /// The object was inside at the previous evaluation and is now outside.
+    Left,
+}
+
+/// A zone transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneEvent {
+    /// Name of the zone (as registered).
+    pub zone: String,
+    /// The object that crossed the boundary.
+    pub object: ObjectId,
+    /// Entered or left.
+    pub kind: ZoneEventKind,
+}
+
+/// Watches a set of named rectangular zones over a [`LocationService`].
+pub struct ZoneWatcher {
+    zones: Vec<(String, Aabb)>,
+    /// Objects currently inside each zone (by zone index).
+    inside: HashMap<usize, HashSet<ObjectId>>,
+}
+
+impl Default for ZoneWatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZoneWatcher {
+    /// Creates a watcher with no zones.
+    pub fn new() -> Self {
+        ZoneWatcher { zones: Vec::new(), inside: HashMap::new() }
+    }
+
+    /// Registers a named zone. Names need not be unique, but distinct names
+    /// make the emitted events easier to interpret.
+    pub fn add_zone(&mut self, name: impl Into<String>, area: Aabb) {
+        self.zones.push((name.into(), area));
+    }
+
+    /// Number of registered zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Evaluates all zones at time `t` and returns the transitions since the
+    /// previous evaluation. The first evaluation reports an `Entered` event
+    /// for every object already inside a zone.
+    pub fn evaluate(&mut self, service: &LocationService, t: f64) -> Vec<ZoneEvent> {
+        let mut events = Vec::new();
+        for (index, (name, area)) in self.zones.iter().enumerate() {
+            let now_inside: HashSet<ObjectId> =
+                service.objects_in_rect(area, t).into_iter().map(|r| r.object).collect();
+            let previously = self.inside.entry(index).or_default();
+            let mut entered: Vec<ObjectId> = now_inside.difference(previously).copied().collect();
+            let mut left: Vec<ObjectId> = previously.difference(&now_inside).copied().collect();
+            entered.sort();
+            left.sort();
+            for object in entered {
+                events.push(ZoneEvent { zone: name.clone(), object, kind: ZoneEventKind::Entered });
+            }
+            for object in left {
+                events.push(ZoneEvent { zone: name.clone(), object, kind: ZoneEventKind::Left });
+            }
+            *previously = now_inside;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbdr_core::{LinearPredictor, ObjectState, Update, UpdateKind};
+    use mbdr_geo::Point;
+    use std::sync::Arc;
+
+    fn moving_east_service() -> LocationService {
+        let s = LocationService::new();
+        s.register(ObjectId(1), Arc::new(LinearPredictor));
+        // Heading east at 10 m/s from x = 0 at t = 0.
+        s.apply_update(
+            ObjectId(1),
+            &Update {
+                sequence: 0,
+                state: ObjectState::basic(Point::new(0.0, 0.0), 10.0, std::f64::consts::FRAC_PI_2, 0.0),
+                kind: UpdateKind::Initial,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn object_entering_and_leaving_a_zone_is_reported_once_each() {
+        let service = moving_east_service();
+        let mut watcher = ZoneWatcher::new();
+        watcher.add_zone("mall", Aabb::new(Point::new(100.0, -50.0), Point::new(200.0, 50.0)));
+        assert_eq!(watcher.zone_count(), 1);
+
+        // t = 5 s: at x = 50, outside.
+        assert!(watcher.evaluate(&service, 5.0).is_empty());
+        // t = 12 s: at x = 120, inside → one Entered event.
+        let events = watcher.evaluate(&service, 12.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ZoneEventKind::Entered);
+        assert_eq!(events[0].zone, "mall");
+        // Still inside: no repeated event.
+        assert!(watcher.evaluate(&service, 15.0).is_empty());
+        // t = 25 s: at x = 250, outside → one Left event.
+        let events = watcher.evaluate(&service, 25.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ZoneEventKind::Left);
+    }
+
+    #[test]
+    fn multiple_zones_are_evaluated_independently() {
+        let service = moving_east_service();
+        let mut watcher = ZoneWatcher::new();
+        watcher.add_zone("west", Aabb::new(Point::new(-10.0, -10.0), Point::new(60.0, 10.0)));
+        watcher.add_zone("east", Aabb::new(Point::new(140.0, -10.0), Point::new(260.0, 10.0)));
+        // t = 0: inside "west" only.
+        let events = watcher.evaluate(&service, 0.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].zone, "west");
+        // t = 20: left "west", entered "east".
+        let events = watcher.evaluate(&service, 20.0);
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().any(|e| e.zone == "west" && e.kind == ZoneEventKind::Left));
+        assert!(events.iter().any(|e| e.zone == "east" && e.kind == ZoneEventKind::Entered));
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end map-matching tests on generated scenario traces.
+
+use mbdr_mapmatch::{MapMatcher, MatcherConfig};
+use mbdr_trace::{Scenario, ScenarioKind};
+use std::sync::Arc;
+
+/// Runs the matcher over a quick scenario trace and returns
+/// (matched fraction, max matched distance).
+fn match_scenario(kind: ScenarioKind, seed: u64) -> (f64, f64) {
+    let data = Scenario::quick(kind, seed).build();
+    let network = Arc::new(data.network);
+    let mut matcher = MapMatcher::for_network(
+        Arc::clone(&network),
+        MatcherConfig::with_tolerance(data.matching_tolerance),
+    );
+    let mut matched = 0usize;
+    let mut max_distance = 0.0f64;
+    for fix in &data.trace.fixes {
+        let r = matcher.update(fix.position);
+        if r.is_matched() {
+            matched += 1;
+            max_distance = max_distance.max(r.distance);
+        }
+    }
+    (matched as f64 / data.trace.len() as f64, max_distance)
+}
+
+#[test]
+fn freeway_trace_is_almost_always_matched() {
+    let (fraction, max_d) = match_scenario(ScenarioKind::Freeway, 21);
+    assert!(fraction > 0.95, "matched fraction {fraction}");
+    assert!(max_d <= 30.0 + 1e-6, "matched distance must respect u_m, got {max_d}");
+}
+
+#[test]
+fn city_trace_is_almost_always_matched() {
+    let (fraction, max_d) = match_scenario(ScenarioKind::City, 22);
+    assert!(fraction > 0.9, "matched fraction {fraction}");
+    assert!(max_d <= 30.0 + 1e-6);
+}
+
+#[test]
+fn interurban_trace_is_almost_always_matched() {
+    let (fraction, _) = match_scenario(ScenarioKind::Interurban, 23);
+    assert!(fraction > 0.9, "matched fraction {fraction}");
+}
+
+#[test]
+fn walking_trace_is_mostly_matched() {
+    // Footpaths are tighter (u_m = 20 m) and walking GPS error is relatively
+    // larger, so allow a slightly lower bar.
+    let (fraction, max_d) = match_scenario(ScenarioKind::Walking, 24);
+    assert!(fraction > 0.85, "matched fraction {fraction}");
+    assert!(max_d <= 20.0 + 1e-6);
+}
+
+#[test]
+fn matched_link_is_usually_the_true_route_link() {
+    // The matcher does not know the route; verify against the planned route's
+    // link set — the matched link should almost always be one of the links the
+    // trip actually uses.
+    let data = Scenario::quick(ScenarioKind::Interurban, 25).build();
+    let route_links: std::collections::HashSet<_> =
+        data.trip.route.links.iter().copied().collect();
+    let network = Arc::new(data.network);
+    let mut matcher = MapMatcher::for_network(
+        Arc::clone(&network),
+        MatcherConfig::with_tolerance(data.matching_tolerance),
+    );
+    let mut on_route = 0usize;
+    let mut matched = 0usize;
+    for fix in &data.trace.fixes {
+        let r = matcher.update(fix.position);
+        if let Some(link) = r.link {
+            matched += 1;
+            if route_links.contains(&link) {
+                on_route += 1;
+            }
+        }
+    }
+    assert!(matched > 0);
+    let fraction = on_route as f64 / matched as f64;
+    assert!(fraction > 0.9, "on-route fraction {fraction}");
+}

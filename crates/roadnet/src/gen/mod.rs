@@ -1,0 +1,127 @@
+//! Synthetic road-map generators.
+//!
+//! The paper extracted its map "from a map used in car navigation systems";
+//! that commercial data set is not available, so this module generates
+//! synthetic maps with the same structural ingredients (intersections, links,
+//! shape points, road classes, speed limits) and with geometry tuned to each
+//! of the four movement scenarios of Table 1:
+//!
+//! * [`freeway::generate`] — a long, gently curving freeway with interchanges
+//!   and crossing roads (scenario: *car, freeway*).
+//! * [`interurban::generate`] — towns connected by winding trunk roads
+//!   (scenario: *car, inter-urban*).
+//! * [`city_grid::generate`] — a perturbed Manhattan grid with arterials and
+//!   side streets (scenario: *car, city traffic*).
+//! * [`campus::generate`] — an irregular footpath network (scenario: *walking
+//!   person*).
+//!
+//! All generators are deterministic in their seed so experiments are
+//! reproducible.
+
+pub mod campus;
+pub mod city_grid;
+pub mod freeway;
+pub mod interurban;
+
+use mbdr_geo::{Point, Vec2};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates interior shape points for a link from `from` to `to`, bending the
+/// road with a smooth sinusoidal lateral offset of up to `max_offset` metres
+/// and sampling a shape point roughly every `spacing` metres.
+///
+/// Returns an empty vector for short links (no shape points necessary).
+pub(crate) fn curved_shape_points(
+    rng: &mut StdRng,
+    from: Point,
+    to: Point,
+    spacing: f64,
+    max_offset: f64,
+) -> Vec<Point> {
+    let dir = to - from;
+    let length = dir.norm();
+    if length < spacing * 1.5 {
+        return Vec::new();
+    }
+    let unit = dir.normalized_or_north();
+    let normal = unit.perp();
+    let n = (length / spacing).floor() as usize;
+    let amplitude = rng.gen_range(0.2..1.0) * max_offset;
+    let periods = rng.gen_range(0.5..2.0);
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut out = Vec::with_capacity(n);
+    for i in 1..n {
+        let t = i as f64 / n as f64;
+        // The sine envelope is zero at both endpoints so the geometry still
+        // starts and ends exactly at the nodes.
+        let envelope = (std::f64::consts::PI * t).sin();
+        let offset = amplitude * envelope * (std::f64::consts::TAU * periods * t + phase).sin();
+        let base = from.lerp(&to, t);
+        out.push(base + normal * offset);
+    }
+    out
+}
+
+/// Adds uniform positional jitter of up to `±magnitude` metres to a point.
+pub(crate) fn jitter(rng: &mut StdRng, p: Point, magnitude: f64) -> Point {
+    p + Vec2::new(
+        rng.gen_range(-magnitude..=magnitude),
+        rng.gen_range(-magnitude..=magnitude),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn curved_shape_points_stay_within_the_offset_band() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(2_000.0, 0.0);
+        let pts = curved_shape_points(&mut rng, from, to, 100.0, 50.0);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p.y.abs() <= 50.0 + 1e-9, "offset {} exceeds band", p.y);
+            assert!(p.x > 0.0 && p.x < 2_000.0);
+        }
+    }
+
+    #[test]
+    fn short_links_get_no_shape_points() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = curved_shape_points(
+            &mut rng,
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            100.0,
+            50.0,
+        );
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(99);
+            curved_shape_points(&mut rng, Point::ORIGIN, Point::new(3_000.0, 500.0), 150.0, 80.0)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(99);
+            curved_shape_points(&mut rng, Point::ORIGIN, Point::new(3_000.0, 500.0), 150.0, 80.0)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = jitter(&mut rng, Point::new(10.0, 10.0), 5.0);
+            assert!((p.x - 10.0).abs() <= 5.0);
+            assert!((p.y - 10.0).abs() <= 5.0);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Plain-text persistence for road networks.
+//!
+//! The workspace deliberately avoids pulling in a serialisation format crate;
+//! maps are written in a small line-oriented text format instead:
+//!
+//! ```text
+//! # mbdr road map v1
+//! node <id> <x> <y> [name…]
+//! link <id> <from> <to> <class> <speed_kmh> <n_vertices> <x0> <y0> <x1> <y1> …
+//! ```
+//!
+//! The format is stable, human-diffable, and loss-free for everything the
+//! protocols need. Both directions are covered by round-trip tests.
+
+use crate::builder::NetworkBuilder;
+use crate::ids::NodeId;
+use crate::link::RoadClass;
+use crate::network::RoadNetwork;
+use mbdr_geo::{Point, Polyline};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Error produced when parsing a serialized road map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number where the problem was found (0 = file level).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "map parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn class_to_str(c: RoadClass) -> &'static str {
+    match c {
+        RoadClass::Freeway => "freeway",
+        RoadClass::Ramp => "ramp",
+        RoadClass::Trunk => "trunk",
+        RoadClass::Arterial => "arterial",
+        RoadClass::Residential => "residential",
+        RoadClass::Footpath => "footpath",
+    }
+}
+
+fn class_from_str(s: &str) -> Option<RoadClass> {
+    Some(match s {
+        "freeway" => RoadClass::Freeway,
+        "ramp" => RoadClass::Ramp,
+        "trunk" => RoadClass::Trunk,
+        "arterial" => RoadClass::Arterial,
+        "residential" => RoadClass::Residential,
+        "footpath" => RoadClass::Footpath,
+        _ => return None,
+    })
+}
+
+/// Serialises a network into the text format.
+pub fn to_text(network: &RoadNetwork) -> String {
+    let mut out = String::new();
+    out.push_str("# mbdr road map v1\n");
+    for node in network.nodes() {
+        match &node.name {
+            Some(name) => {
+                let _ = writeln!(out, "node {} {} {} {}", node.id.0, node.position.x, node.position.y, name);
+            }
+            None => {
+                let _ = writeln!(out, "node {} {} {}", node.id.0, node.position.x, node.position.y);
+            }
+        }
+    }
+    for link in network.links() {
+        let _ = write!(
+            out,
+            "link {} {} {} {} {} {}",
+            link.id.0,
+            link.from.0,
+            link.to.0,
+            class_to_str(link.class),
+            link.speed_limit_kmh,
+            link.geometry.vertices().len()
+        );
+        for v in link.geometry.vertices() {
+            let _ = write!(out, " {} {}", v.x, v.y);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a network from the text format.
+pub fn from_text(text: &str) -> Result<RoadNetwork, ParseError> {
+    let mut builder = NetworkBuilder::new();
+    let mut pending_links: Vec<(usize, NodeId, NodeId, RoadClass, f64, Polyline)> = Vec::new();
+
+    let err = |line: usize, message: &str| ParseError { line, message: message.to_string() };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "node: missing or invalid id"))?;
+                let x: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "node: missing or invalid x"))?;
+                let y: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "node: missing or invalid y"))?;
+                let name: Vec<&str> = parts.collect();
+                let assigned = if name.is_empty() {
+                    builder.add_node(Point::new(x, y))
+                } else {
+                    builder.add_named_node(Point::new(x, y), name.join(" "))
+                };
+                if assigned.0 != id {
+                    return Err(err(line_no, "node ids must be dense and in ascending order"));
+                }
+            }
+            Some("link") => {
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "link: missing or invalid id"))?;
+                let from: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "link: missing or invalid from-node"))?;
+                let to: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "link: missing or invalid to-node"))?;
+                let class = parts
+                    .next()
+                    .and_then(class_from_str)
+                    .ok_or_else(|| err(line_no, "link: unknown road class"))?;
+                let speed: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "link: missing or invalid speed limit"))?;
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "link: missing or invalid vertex count"))?;
+                if n < 2 {
+                    return Err(err(line_no, "link: needs at least two vertices"));
+                }
+                let mut vertices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let x: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(line_no, "link: missing vertex coordinate"))?;
+                    let y: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(line_no, "link: missing vertex coordinate"))?;
+                    vertices.push(Point::new(x, y));
+                }
+                pending_links.push((
+                    id as usize,
+                    NodeId(from),
+                    NodeId(to),
+                    class,
+                    speed,
+                    Polyline::new(vertices),
+                ));
+            }
+            Some(other) => {
+                return Err(err(line_no, &format!("unknown record type `{other}`")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    // Links must be added in id order for the dense-id invariant to hold.
+    pending_links.sort_by_key(|(id, ..)| *id);
+    for (expected, (id, from, to, class, speed, geometry)) in pending_links.into_iter().enumerate() {
+        if id != expected {
+            return Err(err(0, "link ids must be dense (0..n)"));
+        }
+        let lid = builder.add_link_with_geometry(from, to, geometry, class);
+        builder.set_speed_limit(lid, speed);
+    }
+
+    builder
+        .build()
+        .map_err(|e| err(0, &format!("structural validation failed: {e}")))
+}
+
+/// Writes a network to a file in the text format.
+pub fn save(network: &RoadNetwork, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(network))
+}
+
+/// Loads a network from a file in the text format.
+pub fn load(path: &Path) -> std::io::Result<Result<RoadNetwork, ParseError>> {
+    Ok(from_text(&std::fs::read_to_string(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn sample() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_named_node(Point::new(0.0, 0.0), "Hauptbahnhof");
+        let c = b.add_node(Point::new(500.0, 0.0));
+        let d = b.add_node(Point::new(500.0, 400.0));
+        let l = b.add_link(a, c, vec![Point::new(250.0, 30.0)], RoadClass::Arterial);
+        b.set_speed_limit(l, 60.0);
+        b.add_straight_link(c, d, RoadClass::Residential);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = sample();
+        let text = to_text(&net);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.node_count(), net.node_count());
+        assert_eq!(parsed.link_count(), net.link_count());
+        assert_eq!(parsed.node(NodeId(0)).name.as_deref(), Some("Hauptbahnhof"));
+        let l0 = parsed.link(crate::LinkId(0));
+        assert_eq!(l0.speed_limit_kmh, 60.0);
+        assert_eq!(l0.class, RoadClass::Arterial);
+        assert_eq!(l0.shape_point_count(), 1);
+        assert!((parsed.total_length() - net.total_length()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let net = sample();
+        let mut text = String::from("# a comment\n\n");
+        text.push_str(&to_text(&net));
+        assert!(from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn unknown_record_type_is_an_error() {
+        let e = from_text("intersection 0 1 2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown record"));
+    }
+
+    #[test]
+    fn malformed_node_line_is_an_error() {
+        let e = from_text("node 0 not-a-number 2\n").unwrap_err();
+        assert!(e.message.contains("invalid x"));
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn non_dense_node_ids_are_rejected() {
+        let e = from_text("node 5 0 0\n").unwrap_err();
+        assert!(e.message.contains("dense"));
+    }
+
+    #[test]
+    fn link_with_too_few_vertices_is_rejected() {
+        let text = "node 0 0 0\nnode 1 100 0\nlink 0 0 1 residential 30 1 0 0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("two vertices"));
+    }
+
+    #[test]
+    fn unknown_road_class_is_rejected() {
+        let text = "node 0 0 0\nnode 1 100 0\nlink 0 0 1 boulevard 30 2 0 0 100 0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("road class"));
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let net = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mbdr_io_test_{}.map", std::process::id()));
+        save(&net, &path).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        assert_eq!(loaded.link_count(), net.link_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,231 @@
+//! Spatial lookup of links near a position.
+//!
+//! The paper's map matcher initialises itself by "querying a spatial index for
+//! the map information with the mobile object's current position" and keeps
+//! re-querying while the object is off the map. [`LinkLocator`] wraps an
+//! [`mbdr_spatial`] index over per-segment bounding boxes of every link and
+//! returns candidate links together with their exact (polyline-projected)
+//! distance, corrected position and arc length.
+
+use crate::ids::LinkId;
+use crate::network::RoadNetwork;
+use mbdr_geo::{Aabb, Point};
+use mbdr_spatial::{RTree, SpatialIndex};
+
+/// A candidate link produced by a locator query, with the exact projection of
+/// the query position onto the link geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkMatch {
+    /// The matched link.
+    pub link: LinkId,
+    /// Exact distance from the query point to the link geometry, metres.
+    pub distance: f64,
+    /// The corrected position `p_c`: the query point projected perpendicularly
+    /// onto the link (Fig. 5 of the paper).
+    pub position_on_link: Point,
+    /// Arc length of the corrected position from the link's `from` node.
+    pub arc_length: f64,
+}
+
+/// Spatial index over the links of a [`RoadNetwork`].
+///
+/// Each link is indexed once per geometry segment so that long curved links do
+/// not produce huge, useless bounding boxes. Queries dedup by link id and
+/// return the best projection per link.
+#[derive(Debug, Clone)]
+pub struct LinkLocator {
+    /// Entries are (segment bbox, (link id, segment index)).
+    index: RTree<(LinkId, u32)>,
+}
+
+impl LinkLocator {
+    /// Builds a locator for the given network.
+    pub fn build(network: &RoadNetwork) -> Self {
+        let mut items: Vec<(Aabb, (LinkId, u32))> = Vec::new();
+        for link in network.links() {
+            for (si, seg) in link.geometry.segments().enumerate() {
+                let bbox = Aabb::from_points([seg.a, seg.b]).expect("segment has two points");
+                items.push((bbox, (link.id, si as u32)));
+            }
+        }
+        LinkLocator { index: RTree::bulk_load(items) }
+    }
+
+    /// Number of indexed segments (diagnostic).
+    pub fn indexed_segments(&self) -> usize {
+        self.index.len()
+    }
+
+    /// All links whose geometry comes within `max_distance` metres of `p`,
+    /// sorted by ascending exact distance. `max_distance` is the paper's
+    /// matching tolerance `u_m`.
+    pub fn links_within(
+        &self,
+        network: &RoadNetwork,
+        p: &Point,
+        max_distance: f64,
+    ) -> Vec<LinkMatch> {
+        let mut seen: Vec<LinkId> = Vec::new();
+        let mut out: Vec<LinkMatch> = Vec::new();
+        for entry in self.index.query_within(p, max_distance) {
+            let (link_id, _) = entry.item;
+            if seen.contains(&link_id) {
+                continue;
+            }
+            seen.push(link_id);
+            let link = network.link(link_id);
+            let proj = link.geometry.project(p);
+            if proj.distance <= max_distance {
+                out.push(LinkMatch {
+                    link: link_id,
+                    distance: proj.distance,
+                    position_on_link: proj.point,
+                    arc_length: proj.arc_length,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        out
+    }
+
+    /// The single nearest link to `p` within `max_distance`, if any.
+    ///
+    /// This is the initialisation step of the paper's map matching: "the link
+    /// with the shortest distance is then selected, if it is not farther away
+    /// than `u_m`".
+    pub fn nearest_link(
+        &self,
+        network: &RoadNetwork,
+        p: &Point,
+        max_distance: f64,
+    ) -> Option<LinkMatch> {
+        // First try the cheap bounded query; if it finds nothing the point is
+        // farther than `max_distance` from every link.
+        self.links_within(network, p, max_distance).into_iter().next()
+    }
+
+    /// The nearest link regardless of distance (used by diagnostics and by the
+    /// off-road re-acquisition logic, which wants to know how far away the
+    /// road network is).
+    pub fn nearest_link_unbounded(
+        &self,
+        network: &RoadNetwork,
+        p: &Point,
+    ) -> Option<LinkMatch> {
+        // Ask the R-tree for a generous number of nearest segment boxes and
+        // refine with exact projections.
+        let mut best: Option<LinkMatch> = None;
+        for n in self.index.nearest(p, 16) {
+            let (link_id, _) = n.entry.item;
+            let link = network.link(link_id);
+            let proj = link.geometry.project(p);
+            let candidate = LinkMatch {
+                link: link_id,
+                distance: proj.distance,
+                position_on_link: proj.point,
+                arc_length: proj.arc_length,
+            };
+            if best.as_ref().map(|b| candidate.distance < b.distance).unwrap_or(true) {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
+
+    /// Projects `p` onto a specific link (convenience wrapper used by the
+    /// matcher when it already has a current-link hypothesis).
+    pub fn project_onto(&self, network: &RoadNetwork, link: LinkId, p: &Point) -> LinkMatch {
+        let proj = network.link(link).geometry.project(p);
+        LinkMatch {
+            link,
+            distance: proj.distance,
+            position_on_link: proj.point,
+            arc_length: proj.arc_length,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::link::RoadClass;
+
+    /// Two parallel east-west streets 100 m apart, connected by a north-south
+    /// street at x = 0.
+    fn h_network() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(-200.0, 0.0));
+        let c = b.add_node(Point::new(200.0, 0.0));
+        let d = b.add_node(Point::new(-200.0, 100.0));
+        let e = b.add_node(Point::new(200.0, 100.0));
+        let f = b.add_node(Point::new(0.0, 0.0));
+        let g = b.add_node(Point::new(0.0, 100.0));
+        b.add_straight_link(a, f, RoadClass::Residential); // 0: south-west
+        b.add_straight_link(f, c, RoadClass::Residential); // 1: south-east
+        b.add_straight_link(d, g, RoadClass::Residential); // 2: north-west
+        b.add_straight_link(g, e, RoadClass::Residential); // 3: north-east
+        b.add_straight_link(f, g, RoadClass::Residential); // 4: connector
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nearest_link_picks_closest_street() {
+        let net = h_network();
+        let loc = LinkLocator::build(&net);
+        // 10 m north of the southern street, east of the connector.
+        let m = loc.nearest_link(&net, &Point::new(50.0, 10.0), 50.0).unwrap();
+        assert_eq!(m.link, LinkId(1));
+        assert!((m.distance - 10.0).abs() < 1e-6);
+        assert!((m.position_on_link.y - 0.0).abs() < 1e-6);
+        assert!((m.position_on_link.x - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matching_respects_the_tolerance_um() {
+        let net = h_network();
+        let loc = LinkLocator::build(&net);
+        let p = Point::new(50.0, 40.0); // 40 m from the southern street
+        assert!(loc.nearest_link(&net, &p, 30.0).is_none());
+        assert!(loc.nearest_link(&net, &p, 45.0).is_some());
+    }
+
+    #[test]
+    fn links_within_returns_all_candidates_sorted() {
+        let net = h_network();
+        let loc = LinkLocator::build(&net);
+        // Exactly between the two horizontal streets, near the connector.
+        let matches = loc.links_within(&net, &Point::new(10.0, 50.0), 60.0);
+        assert!(matches.len() >= 3, "connector + both streets, got {}", matches.len());
+        assert!(matches.windows(2).all(|w| w[0].distance <= w[1].distance));
+        // The connector (10 m away) must be first.
+        assert_eq!(matches[0].link, LinkId(4));
+        assert!((matches[0].distance - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_nearest_always_finds_something() {
+        let net = h_network();
+        let loc = LinkLocator::build(&net);
+        let m = loc.nearest_link_unbounded(&net, &Point::new(5_000.0, 5_000.0)).unwrap();
+        assert!(m.distance > 1_000.0);
+    }
+
+    #[test]
+    fn project_onto_specific_link() {
+        let net = h_network();
+        let loc = LinkLocator::build(&net);
+        let m = loc.project_onto(&net, LinkId(4), &Point::new(30.0, 50.0));
+        assert_eq!(m.link, LinkId(4));
+        assert!((m.distance - 30.0).abs() < 1e-6);
+        assert!((m.arc_length - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indexed_segment_count_matches_geometry() {
+        let net = h_network();
+        let loc = LinkLocator::build(&net);
+        // Five straight links → five segments.
+        assert_eq!(loc.indexed_segments(), 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! The message channel between source and server.
+//!
+//! The paper's motivation is the cost of wide-area wireless messages, so the
+//! simulator accounts for every update shipped: message count, payload bytes,
+//! and (optionally) a fixed delivery latency so that the server applies an
+//! update slightly after the source sent it — the situation a GSM/GPRS uplink
+//! creates in practice.
+
+use mbdr_core::Update;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Accumulated traffic statistics of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Number of update messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub payload_bytes: u64,
+}
+
+/// A unidirectional source→server channel with fixed latency and per-message
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct MessageChannel {
+    latency: f64,
+    in_flight: VecDeque<(f64, Update)>,
+    stats: ChannelStats,
+}
+
+impl MessageChannel {
+    /// Creates a channel with the given one-way latency in seconds.
+    pub fn new(latency: f64) -> Self {
+        assert!(latency >= 0.0);
+        MessageChannel { latency, in_flight: VecDeque::new(), stats: ChannelStats::default() }
+    }
+
+    /// An ideal, zero-latency channel (what the paper's simulation assumes).
+    pub fn instantaneous() -> Self {
+        MessageChannel::new(0.0)
+    }
+
+    /// The configured one-way latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Sends an update at time `sent_at`.
+    pub fn send(&mut self, sent_at: f64, update: Update) {
+        self.stats.messages += 1;
+        self.stats.payload_bytes += update.encoded_len() as u64;
+        self.in_flight.push_back((sent_at + self.latency, update));
+    }
+
+    /// Delivers every update whose arrival time is ≤ `now`, in order.
+    pub fn deliver_until(&mut self, now: f64) -> Vec<Update> {
+        let mut out = Vec::new();
+        while let Some(&(arrival, _)) = self.in_flight.front() {
+            if arrival <= now + 1e-9 {
+                out.push(self.in_flight.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of updates currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbdr_core::{ObjectState, UpdateKind};
+    use mbdr_geo::Point;
+
+    fn update(seq: u64) -> Update {
+        Update {
+            sequence: seq,
+            state: ObjectState::basic(Point::new(1.0, 2.0), 3.0, 0.0, seq as f64),
+            kind: UpdateKind::DeviationBound,
+        }
+    }
+
+    #[test]
+    fn instantaneous_channel_delivers_immediately() {
+        let mut c = MessageChannel::instantaneous();
+        c.send(10.0, update(0));
+        assert_eq!(c.deliver_until(10.0).len(), 1);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(c.stats().messages, 1);
+        assert!(c.stats().payload_bytes > 0);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut c = MessageChannel::new(2.5);
+        c.send(10.0, update(0));
+        assert!(c.deliver_until(11.0).is_empty());
+        assert_eq!(c.in_flight(), 1);
+        let delivered = c.deliver_until(12.6);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].sequence, 0);
+    }
+
+    #[test]
+    fn delivery_preserves_order_and_counts_everything() {
+        let mut c = MessageChannel::new(1.0);
+        c.send(0.0, update(0));
+        c.send(1.0, update(1));
+        c.send(2.0, update(2));
+        let first = c.deliver_until(2.0);
+        assert_eq!(first.iter().map(|u| u.sequence).collect::<Vec<_>>(), vec![0, 1]);
+        let second = c.deliver_until(10.0);
+        assert_eq!(second.iter().map(|u| u.sequence).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(c.stats().messages, 3);
+    }
+}

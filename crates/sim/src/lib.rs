@@ -1,0 +1,38 @@
+//! # mbdr-sim — the tracking simulator
+//!
+//! The paper evaluates its protocols by simulating a mobile object from
+//! recorded traces and counting the update messages each protocol needs while
+//! checking the accuracy actually delivered at the server (Section 4). This
+//! crate is that simulator:
+//!
+//! * [`runner`] — runs one protocol over one trace: feeds every sensor fix to
+//!   the source protocol, ships resulting updates over a [`channel`] with cost
+//!   accounting, applies them to the server-side tracker, and samples the
+//!   server's predicted position against the ground truth.
+//! * [`metrics`] — what comes out: update counts, updates per hour, payload
+//!   bytes, and the distribution of the server-side deviation.
+//! * [`sweep`] — the experiment driver: a grid of (scenario × protocol ×
+//!   requested accuracy) runs, executed in parallel with crossbeam scoped
+//!   threads, producing the data behind Figures 7–10.
+//! * [`fleet`] — many objects tracked concurrently against one shared map
+//!   (the location-service workload of the paper's introduction).
+//! * [`report`] — plain-text table/CSV rendering of the results.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod channel;
+pub mod fleet;
+pub mod metrics;
+pub mod protocols;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use channel::MessageChannel;
+pub use fleet::{FleetConfig, FleetResult};
+pub use metrics::{DeviationStats, RunMetrics};
+pub use protocols::ProtocolKind;
+pub use report::{render_csv, render_table};
+pub use runner::{run_protocol, RunConfig};
+pub use sweep::{sweep_scenario, SweepPoint, SweepResult};

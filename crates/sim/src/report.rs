@@ -1,0 +1,134 @@
+//! Plain-text rendering of sweep results.
+//!
+//! The paper presents its results as figures (updates per hour vs. requested
+//! accuracy, absolute and relative to the distance-based baseline); without a
+//! plotting dependency the same data is rendered as aligned text tables and as
+//! CSV for external plotting.
+
+use crate::protocols::ProtocolKind;
+use crate::sweep::SweepResult;
+use std::fmt::Write as _;
+
+/// Renders the sweep as a human-readable table: one row per requested
+/// accuracy, one column pair (updates/h, % of baseline) per protocol.
+pub fn render_table(result: &SweepResult, protocols: &[ProtocolKind]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario: {}", result.scenario);
+    let _ = write!(out, "{:>8} ", "u_s [m]");
+    for p in protocols {
+        let _ = write!(out, "| {:>22} ", p.label());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:->9}", "");
+    for _ in protocols {
+        let _ = write!(out, "+{:->24}", "");
+    }
+    let _ = writeln!(out);
+    for &a in &result.accuracies {
+        let _ = write!(out, "{a:>8.0} ");
+        for &p in protocols {
+            match result.point(p, a) {
+                Some(point) => {
+                    let rel = point
+                        .relative_to_baseline_pct
+                        .map(|r| format!("{r:5.1}%"))
+                        .unwrap_or_else(|| "   n/a".to_string());
+                    let _ = write!(
+                        out,
+                        "| {:>9.1}/h {:>10} ",
+                        point.metrics.updates_per_hour, rel
+                    );
+                }
+                None => {
+                    let _ = write!(out, "| {:>22} ", "—");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the sweep as CSV with the columns
+/// `scenario,protocol,requested_accuracy_m,updates,updates_per_hour,relative_pct,mean_deviation_m,max_deviation_m`.
+pub fn render_csv(result: &SweepResult) -> String {
+    let mut out = String::from(
+        "scenario,protocol,requested_accuracy_m,updates,updates_per_hour,relative_pct,mean_deviation_m,max_deviation_m\n",
+    );
+    for p in &result.points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.3},{},{:.2},{:.2}",
+            result.scenario,
+            p.protocol.label(),
+            p.requested_accuracy,
+            p.metrics.updates,
+            p.metrics.updates_per_hour,
+            p.relative_to_baseline_pct.map(|r| format!("{r:.2}")).unwrap_or_default(),
+            p.metrics.deviation.mean,
+            p.metrics.deviation.max,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{DeviationStats, RunMetrics};
+    use crate::sweep::SweepPoint;
+
+    fn fake_result() -> SweepResult {
+        let metrics = |rate: f64| RunMetrics {
+            protocol: "x".into(),
+            requested_accuracy: 50.0,
+            updates: (rate as u64).max(1),
+            payload_bytes: 100,
+            duration_s: 3600.0,
+            updates_per_hour: rate,
+            deviation: DeviationStats::from_samples(vec![1.0, 2.0, 3.0], 60.0),
+        };
+        SweepResult {
+            scenario: "car, freeway".into(),
+            accuracies: vec![50.0],
+            points: vec![
+                SweepPoint {
+                    protocol: ProtocolKind::DistanceBased,
+                    requested_accuracy: 50.0,
+                    metrics: metrics(400.0),
+                    relative_to_baseline_pct: Some(100.0),
+                },
+                SweepPoint {
+                    protocol: ProtocolKind::MapBased,
+                    requested_accuracy: 50.0,
+                    metrics: metrics(40.0),
+                    relative_to_baseline_pct: Some(10.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_every_protocol_and_accuracy() {
+        let text = render_table(&fake_result(), &[ProtocolKind::DistanceBased, ProtocolKind::MapBased]);
+        assert!(text.contains("car, freeway"));
+        assert!(text.contains("distance-based"));
+        assert!(text.contains("map-based dr"));
+        assert!(text.contains("10.0%"));
+        assert!(text.contains("400.0/h"));
+    }
+
+    #[test]
+    fn missing_points_render_as_a_dash() {
+        let text = render_table(&fake_result(), &[ProtocolKind::Linear]);
+        assert!(text.contains('—'));
+    }
+
+    #[test]
+    fn csv_has_a_row_per_point_plus_header() {
+        let csv = render_csv(&fake_result());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().next().unwrap().starts_with("scenario,protocol"));
+        assert!(csv.contains("map-based dr,50,"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Uniform grid (spatial hash) index.
+//!
+//! The grid partitions the plane into square cells of a fixed size; every
+//! entry is registered in all cells its bounding box overlaps. Queries then
+//! only inspect the cells touched by the query region. With a cell size on the
+//! order of the map-matching tolerance `u_m` (tens of metres) a candidate-link
+//! query touches a handful of cells and a handful of links — constant time in
+//! practice, independent of the map size.
+
+use crate::{Entry, Neighbor, SpatialIndex};
+use mbdr_geo::{Aabb, Point};
+use std::collections::HashMap;
+
+/// A uniform-grid spatial index over `(Aabb, T)` entries.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_size: f64,
+    entries: Vec<Entry<T>>,
+    /// Cell coordinates → indexes into `entries`.
+    cells: HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an empty grid with the given cell size in metres.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "grid cell size must be positive");
+        GridIndex { cell_size, entries: Vec::new(), cells: HashMap::new() }
+    }
+
+    /// Builds a grid from an iterator of `(bbox, item)` pairs.
+    pub fn bulk_load<I>(cell_size: f64, items: I) -> Self
+    where
+        I: IntoIterator<Item = (Aabb, T)>,
+    {
+        let mut grid = GridIndex::new(cell_size);
+        for (bbox, item) in items {
+            grid.insert(bbox, item);
+        }
+        grid
+    }
+
+    /// The configured cell size in metres.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of occupied grid cells (diagnostic; useful in benchmarks).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Inserts an entry, registering it in every cell its box overlaps.
+    pub fn insert(&mut self, bbox: Aabb, item: T) {
+        let idx = self.entries.len() as u32;
+        self.entries.push(Entry::new(bbox, item));
+        let (cx0, cy0) = self.cell_of(&bbox.min);
+        let (cx1, cy1) = self.cell_of(&bbox.max);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                self.cells.entry((cx, cy)).or_default().push(idx);
+            }
+        }
+    }
+
+    /// Access to all entries in insertion order.
+    pub fn entries(&self) -> &[Entry<T>] {
+        &self.entries
+    }
+
+    #[inline]
+    fn cell_of(&self, p: &Point) -> (i64, i64) {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Visits the indexes of entries registered in cells overlapping `query`,
+    /// deduplicated, in ascending entry order.
+    fn candidate_indexes(&self, query: &Aabb) -> Vec<u32> {
+        let (cx0, cy0) = self.cell_of(&query.min);
+        let (cx1, cy1) = self.cell_of(&query.max);
+        let mut out: Vec<u32> = Vec::new();
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(ids) = self.cells.get(&(cx, cy)) {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl<T> SpatialIndex<T> for GridIndex<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<T>> {
+        self.candidate_indexes(query)
+            .into_iter()
+            .map(|i| &self.entries[i as usize])
+            .filter(|e| e.bbox.intersects(query))
+            .collect()
+    }
+
+    fn nearest<'a>(&'a self, p: &Point, k: usize) -> Vec<Neighbor<'a, T>> {
+        if self.entries.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Expanding ring search: start with one cell's radius and grow until
+        // at least k candidates are found, then do one extra ring to make sure
+        // nothing closer hides in a neighbouring cell.
+        let mut radius = self.cell_size;
+        let mut found: Vec<Neighbor<'a, T>>;
+        loop {
+            found = self
+                .query_rect(&Aabb::around(*p, radius))
+                .into_iter()
+                .map(|e| Neighbor { distance: e.bbox.distance_to_point(p), entry: e })
+                .collect();
+            if found.len() >= k || radius > self.extent_radius(p) {
+                break;
+            }
+            radius *= 2.0;
+        }
+        // One confirming expansion: a box at distance just under `radius` in a
+        // diagonal cell could have been missed.
+        let confirm = self
+            .query_rect(&Aabb::around(*p, radius * 2.0))
+            .into_iter()
+            .map(|e| Neighbor { distance: e.bbox.distance_to_point(p), entry: e })
+            .collect::<Vec<_>>();
+        if confirm.len() > found.len() {
+            found = confirm;
+        }
+        found.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        found.truncate(k);
+        found
+    }
+}
+
+impl<T> GridIndex<T> {
+    /// A radius guaranteed to cover every entry from `p` (used to terminate
+    /// the expanding-ring nearest-neighbour search).
+    fn extent_radius(&self, p: &Point) -> f64 {
+        let mut r: f64 = self.cell_size;
+        for e in &self.entries {
+            r = r.max(e.bbox.distance_to_point(p) + self.cell_size);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> GridIndex<u32> {
+        let mut g = GridIndex::new(10.0);
+        g.insert(Aabb::around(Point::new(5.0, 5.0), 1.0), 1);
+        g.insert(Aabb::around(Point::new(25.0, 5.0), 1.0), 2);
+        g.insert(Aabb::around(Point::new(105.0, 105.0), 1.0), 3);
+        g.insert(Aabb::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)), 4); // large box
+        g
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_rejected() {
+        let _ = GridIndex::<u32>::new(0.0);
+    }
+
+    #[test]
+    fn query_rect_returns_intersecting_entries_once() {
+        let g = sample_grid();
+        let hits = g.query_rect(&Aabb::around(Point::new(5.0, 5.0), 3.0));
+        let mut items: Vec<u32> = hits.iter().map(|e| e.item).collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![1, 4]);
+    }
+
+    #[test]
+    fn query_far_away_is_empty() {
+        let g = sample_grid();
+        assert!(g.query_rect(&Aabb::around(Point::new(-500.0, -500.0), 10.0)).is_empty());
+    }
+
+    #[test]
+    fn query_within_filters_by_distance() {
+        let g = sample_grid();
+        let hits = g.query_within(&Point::new(5.0, 5.0), 15.0);
+        let mut items: Vec<u32> = hits.iter().map(|e| e.item).collect();
+        items.sort_unstable();
+        // Entry 2 is 20 m away minus its 1 m half-extent → 19 m > 15 m radius.
+        assert_eq!(items, vec![1, 4]);
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let g = sample_grid();
+        let nn = g.nearest(&Point::new(6.0, 5.0), 3);
+        assert_eq!(nn.len(), 3);
+        let items: Vec<u32> = nn.iter().map(|n| n.entry.item).collect();
+        // Entry 1 (and the large box 4) are at distance 0; entry 2 comes later.
+        assert!(items.contains(&1));
+        assert!(items.contains(&4));
+        assert!(items.contains(&2));
+        assert!(nn.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn nearest_finds_far_entries_when_k_requires_it() {
+        let g = sample_grid();
+        let nn = g.nearest(&Point::new(0.0, 0.0), 4);
+        assert_eq!(nn.len(), 4);
+        assert_eq!(nn.last().unwrap().entry.item, 3);
+    }
+
+    #[test]
+    fn nearest_on_empty_index_is_empty() {
+        let g: GridIndex<u32> = GridIndex::new(10.0);
+        assert!(g.nearest(&Point::ORIGIN, 5).is_empty());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_insert() {
+        let items = vec![
+            (Aabb::around(Point::new(1.0, 1.0), 2.0), 10u32),
+            (Aabb::around(Point::new(40.0, 40.0), 2.0), 20u32),
+        ];
+        let g = GridIndex::bulk_load(10.0, items);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.query_within(&Point::new(1.0, 1.0), 5.0).len(), 1);
+        assert!(g.occupied_cells() >= 2);
+    }
+
+    #[test]
+    fn large_entry_spans_multiple_cells() {
+        let g = sample_grid();
+        // The 50x50 box (item 4) must be found from opposite corners.
+        assert!(g.query_within(&Point::new(49.0, 49.0), 2.0).iter().any(|e| e.item == 4));
+        assert!(g.query_within(&Point::new(1.0, 1.0), 2.0).iter().any(|e| e.item == 4));
+    }
+}

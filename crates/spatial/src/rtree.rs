@@ -1,0 +1,353 @@
+//! Bulk-loaded STR (Sort-Tile-Recursive) R-tree.
+//!
+//! Road maps are static during a tracking session, so a packed, read-only
+//! R-tree built once with the STR algorithm gives near-optimal node occupancy
+//! without the complexity of dynamic insertion/splitting. Queries:
+//!
+//! * [`RTree::query_rect`] — all entries intersecting a rectangle,
+//! * [`RTree::nearest`] — best-first k-nearest-neighbour search using a
+//!   priority queue over node bounding-box distances.
+
+use crate::{Entry, Neighbor, SpatialIndex};
+use mbdr_geo::{Aabb, Point};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Maximum number of children per internal node / entries per leaf.
+const NODE_CAPACITY: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Leaf node: indexes into the entry array.
+    Leaf { bbox: Aabb, entries: Vec<u32> },
+    /// Internal node: indexes into the node array.
+    Internal { bbox: Aabb, children: Vec<u32> },
+}
+
+impl Node {
+    fn bbox(&self) -> &Aabb {
+        match self {
+            Node::Leaf { bbox, .. } => bbox,
+            Node::Internal { bbox, .. } => bbox,
+        }
+    }
+}
+
+/// A static, bulk-loaded R-tree over `(Aabb, T)` entries.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    entries: Vec<Entry<T>>,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+}
+
+impl<T> RTree<T> {
+    /// Builds an R-tree from `(bbox, item)` pairs using STR bulk loading.
+    pub fn bulk_load<I>(items: I) -> Self
+    where
+        I: IntoIterator<Item = (Aabb, T)>,
+    {
+        let entries: Vec<Entry<T>> =
+            items.into_iter().map(|(bbox, item)| Entry::new(bbox, item)).collect();
+        let mut tree = RTree { entries, nodes: Vec::new(), root: None };
+        if tree.entries.is_empty() {
+            return tree;
+        }
+        // --- STR: sort by centre x, slice into vertical strips, sort each
+        // strip by centre y, pack runs of NODE_CAPACITY into leaves. ---
+        let mut order: Vec<u32> = (0..tree.entries.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let ca = tree.entries[a as usize].bbox.center().x;
+            let cb = tree.entries[b as usize].bbox.center().x;
+            ca.partial_cmp(&cb).unwrap_or(Ordering::Equal)
+        });
+        let n = order.len();
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strip_count);
+
+        let mut leaf_ids: Vec<u32> = Vec::with_capacity(leaf_count);
+        for strip in order.chunks(per_strip.max(1)) {
+            let mut strip: Vec<u32> = strip.to_vec();
+            strip.sort_by(|&a, &b| {
+                let ca = tree.entries[a as usize].bbox.center().y;
+                let cb = tree.entries[b as usize].bbox.center().y;
+                ca.partial_cmp(&cb).unwrap_or(Ordering::Equal)
+            });
+            for chunk in strip.chunks(NODE_CAPACITY) {
+                let bbox = chunk
+                    .iter()
+                    .map(|&i| tree.entries[i as usize].bbox)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("chunk is non-empty");
+                let id = tree.nodes.len() as u32;
+                tree.nodes.push(Node::Leaf { bbox, entries: chunk.to_vec() });
+                leaf_ids.push(id);
+            }
+        }
+
+        // --- Build upper levels by packing groups of NODE_CAPACITY nodes. ---
+        let mut level = leaf_ids;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            for chunk in level.chunks(NODE_CAPACITY) {
+                let bbox = chunk
+                    .iter()
+                    .map(|&i| *tree.nodes[i as usize].bbox())
+                    .reduce(|a, b| a.union(&b))
+                    .expect("chunk is non-empty");
+                let id = tree.nodes.len() as u32;
+                tree.nodes.push(Node::Internal { bbox, children: chunk.to_vec() });
+                next.push(id);
+            }
+            level = next;
+        }
+        tree.root = level.first().copied();
+        tree
+    }
+
+    /// The bounding box of the whole tree, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<Aabb> {
+        self.root.map(|r| *self.nodes[r as usize].bbox())
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut h = 1;
+        let mut node = &self.nodes[root as usize];
+        while let Node::Internal { children, .. } = node {
+            node = &self.nodes[children[0] as usize];
+            h += 1;
+        }
+        h
+    }
+
+    /// Access to all entries in load order.
+    pub fn entries(&self) -> &[Entry<T>] {
+        &self.entries
+    }
+
+    fn collect_rect<'a>(&'a self, node_id: u32, query: &Aabb, out: &mut Vec<&'a Entry<T>>) {
+        match &self.nodes[node_id as usize] {
+            Node::Leaf { entries, .. } => {
+                for &i in entries {
+                    let e = &self.entries[i as usize];
+                    if e.bbox.intersects(query) {
+                        out.push(e);
+                    }
+                }
+            }
+            Node::Internal { children, .. } => {
+                for &c in children {
+                    if self.nodes[c as usize].bbox().intersects(query) {
+                        self.collect_rect(c, query, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Priority-queue element for best-first nearest-neighbour search.
+struct HeapItem {
+    /// Negative distance so that `BinaryHeap` (a max-heap) pops the nearest.
+    neg_distance: f64,
+    kind: HeapKind,
+}
+
+enum HeapKind {
+    Node(u32),
+    Entry(u32),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.neg_distance == other.neg_distance
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.neg_distance.partial_cmp(&other.neg_distance).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<T> SpatialIndex<T> for RTree<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<T>> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            if self.nodes[root as usize].bbox().intersects(query) {
+                self.collect_rect(root, query, &mut out);
+            }
+        }
+        out
+    }
+
+    fn nearest<'a>(&'a self, p: &Point, k: usize) -> Vec<Neighbor<'a, T>> {
+        let mut result = Vec::new();
+        let Some(root) = self.root else { return result };
+        if k == 0 {
+            return result;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            neg_distance: -self.nodes[root as usize].bbox().distance_to_point(p),
+            kind: HeapKind::Node(root),
+        });
+        while let Some(item) = heap.pop() {
+            match item.kind {
+                HeapKind::Entry(i) => {
+                    result.push(Neighbor {
+                        distance: -item.neg_distance,
+                        entry: &self.entries[i as usize],
+                    });
+                    if result.len() == k {
+                        break;
+                    }
+                }
+                HeapKind::Node(id) => match &self.nodes[id as usize] {
+                    Node::Leaf { entries, .. } => {
+                        for &i in entries {
+                            heap.push(HeapItem {
+                                neg_distance: -self.entries[i as usize].bbox.distance_to_point(p),
+                                kind: HeapKind::Entry(i),
+                            });
+                        }
+                    }
+                    Node::Internal { children, .. } => {
+                        for &c in children {
+                            heap.push(HeapItem {
+                                neg_distance: -self.nodes[c as usize].bbox().distance_to_point(p),
+                                kind: HeapKind::Node(c),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, spacing: f64) -> Vec<(Aabb, usize)> {
+        let mut out = Vec::new();
+        let mut id = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(i as f64 * spacing, j as f64 * spacing);
+                out.push((Aabb::from_point(p), id));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t: RTree<u32> = RTree::bulk_load(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.bounding_box().is_none());
+        assert!(t.query_rect(&Aabb::around(Point::ORIGIN, 10.0)).is_empty());
+        assert!(t.nearest(&Point::ORIGIN, 3).is_empty());
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let t = RTree::bulk_load(vec![(Aabb::from_point(Point::new(5.0, 5.0)), 7u32)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let nn = t.nearest(&Point::ORIGIN, 1);
+        assert_eq!(nn[0].entry.item, 7);
+        assert!((nn[0].distance - 50f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_rect_matches_brute_force_on_grid() {
+        let items = grid_points(20, 10.0); // 400 points, 0..190 in each axis
+        let t = RTree::bulk_load(items.clone());
+        let query = Aabb::new(Point::new(35.0, 35.0), Point::new(75.0, 95.0));
+        let mut expected: Vec<usize> = items
+            .iter()
+            .filter(|(b, _)| b.intersects(&query))
+            .map(|(_, id)| *id)
+            .collect();
+        let mut got: Vec<usize> = t.query_rect(&query).iter().map(|e| e.item).collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expected, got);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_grid() {
+        let items = grid_points(15, 7.0);
+        let t = RTree::bulk_load(items.clone());
+        let q = Point::new(33.0, 61.0);
+        let mut brute: Vec<(f64, usize)> =
+            items.iter().map(|(b, id)| (b.distance_to_point(&q), *id)).collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let nn = t.nearest(&q, 5);
+        assert_eq!(nn.len(), 5);
+        for (i, n) in nn.iter().enumerate() {
+            assert!((n.distance - brute[i].0).abs() < 1e-9, "rank {i}");
+        }
+        // Result is sorted by distance.
+        assert!(nn.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn nearest_with_k_larger_than_len_returns_all() {
+        let items = grid_points(3, 5.0);
+        let t = RTree::bulk_load(items);
+        let nn = t.nearest(&Point::ORIGIN, 100);
+        assert_eq!(nn.len(), 9);
+    }
+
+    #[test]
+    fn tree_is_reasonably_balanced() {
+        let items = grid_points(32, 3.0); // 1024 entries
+        let t = RTree::bulk_load(items);
+        // ceil(log_8(1024/8)) + 1 = 4 levels or fewer for a packed tree;
+        // allow one extra level of slack for strip rounding.
+        assert!(t.height() <= 5, "height {}", t.height());
+        assert_eq!(t.len(), 1024);
+    }
+
+    #[test]
+    fn bounding_box_covers_everything() {
+        let items = grid_points(5, 13.0);
+        let t = RTree::bulk_load(items);
+        let bb = t.bounding_box().unwrap();
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(52.0, 52.0)));
+    }
+
+    #[test]
+    fn query_within_trait_default_filters_radius() {
+        let items = vec![
+            (Aabb::from_point(Point::new(0.0, 0.0)), 0u32),
+            (Aabb::from_point(Point::new(30.0, 0.0)), 1u32),
+            (Aabb::from_point(Point::new(100.0, 0.0)), 2u32),
+        ];
+        let t = RTree::bulk_load(items);
+        let hits = t.query_within(&Point::new(0.0, 0.0), 50.0);
+        let mut ids: Vec<u32> = hits.iter().map(|e| e.item).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: both spatial indexes must agree with brute force.
+
+use mbdr_geo::{Aabb, Point};
+use mbdr_spatial::{GridIndex, RTree, SpatialIndex};
+use proptest::prelude::*;
+
+fn arb_box() -> impl Strategy<Value = Aabb> {
+    (
+        -2_000.0..2_000.0f64,
+        -2_000.0..2_000.0f64,
+        0.0..200.0f64,
+        0.0..200.0f64,
+    )
+        .prop_map(|(x, y, w, h)| Aabb::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+fn brute_rect(items: &[(Aabb, usize)], q: &Aabb) -> Vec<usize> {
+    let mut v: Vec<usize> =
+        items.iter().filter(|(b, _)| b.intersects(q)).map(|(_, i)| *i).collect();
+    v.sort_unstable();
+    v
+}
+
+fn brute_nearest(items: &[(Aabb, usize)], p: &Point, k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = items.iter().map(|(b, _)| b.distance_to_point(p)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_rect_query_equals_brute_force(
+        boxes in proptest::collection::vec(arb_box(), 1..200),
+        query in arb_box()
+    ) {
+        let items: Vec<(Aabb, usize)> = boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let tree = RTree::bulk_load(items.clone());
+        let mut got: Vec<usize> = tree.query_rect(&query).iter().map(|e| e.item).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_rect(&items, &query));
+    }
+
+    #[test]
+    fn grid_rect_query_equals_brute_force(
+        boxes in proptest::collection::vec(arb_box(), 1..200),
+        query in arb_box(),
+        cell in 10.0..500.0f64
+    ) {
+        let items: Vec<(Aabb, usize)> = boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let grid = GridIndex::bulk_load(cell, items.clone());
+        let mut got: Vec<usize> = grid.query_rect(&query).iter().map(|e| e.item).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_rect(&items, &query));
+    }
+
+    #[test]
+    fn rtree_nearest_distances_equal_brute_force(
+        boxes in proptest::collection::vec(arb_box(), 1..150),
+        px in -3_000.0..3_000.0f64,
+        py in -3_000.0..3_000.0f64,
+        k in 1usize..10
+    ) {
+        let items: Vec<(Aabb, usize)> = boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let tree = RTree::bulk_load(items.clone());
+        let p = Point::new(px, py);
+        let expected = brute_nearest(&items, &p, k);
+        let got: Vec<f64> = tree.nearest(&p, k).iter().map(|n| n.distance).collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grid_nearest_distances_equal_brute_force(
+        boxes in proptest::collection::vec(arb_box(), 1..100),
+        px in -3_000.0..3_000.0f64,
+        py in -3_000.0..3_000.0f64,
+        k in 1usize..6,
+        cell in 20.0..400.0f64
+    ) {
+        let items: Vec<(Aabb, usize)> = boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let grid = GridIndex::bulk_load(cell, items.clone());
+        let p = Point::new(px, py);
+        let expected = brute_nearest(&items, &p, k);
+        let got: Vec<f64> = grid.nearest(&p, k).iter().map(|n| n.distance).collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn both_indexes_agree_on_radius_queries(
+        boxes in proptest::collection::vec(arb_box(), 1..150),
+        px in -2_000.0..2_000.0f64,
+        py in -2_000.0..2_000.0f64,
+        radius in 1.0..800.0f64
+    ) {
+        let items: Vec<(Aabb, usize)> = boxes.into_iter().enumerate().map(|(i, b)| (b, i)).collect();
+        let tree = RTree::bulk_load(items.clone());
+        let grid = GridIndex::bulk_load(100.0, items);
+        let p = Point::new(px, py);
+        let mut a: Vec<usize> = tree.query_within(&p, radius).iter().map(|e| e.item).collect();
+        let mut b: Vec<usize> = grid.query_within(&p, radius).iter().map(|e| e.item).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

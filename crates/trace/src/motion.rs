@@ -1,0 +1,402 @@
+//! Kinematic motion simulation along a planned path.
+//!
+//! Given the dense geometry of a planned trip, a posted-speed-limit profile
+//! along it, a list of planned stops and a [`DriverProfile`], this module
+//! integrates a simple longitudinal vehicle model:
+//!
+//! * the object never exceeds the *allowed speed* at its current position —
+//!   the minimum of the posted limit (scaled by compliance), the curve speed
+//!   implied by the local geometry, and the braking envelope needed to respect
+//!   slower sections and stops ahead;
+//! * speed changes are bounded by the profile's acceleration and deceleration;
+//! * a slowly varying "wander" factor models imperfect speed keeping;
+//! * at planned stops the object decelerates to a halt, dwells, then drives on.
+//!
+//! The output is a ground-truth trajectory sampled at the sensor rate (1 Hz in
+//! all of the paper's scenarios); the GPS model in [`crate::gps`] then turns
+//! it into sensor fixes.
+
+use crate::profile::DriverProfile;
+use crate::types::GroundTruth;
+use mbdr_geo::Polyline;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A planned stop along the path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedStop {
+    /// Arc length along the path at which the object stops, metres.
+    pub arc_length: f64,
+    /// How long it stays stopped, seconds.
+    pub duration: f64,
+}
+
+/// A change of the posted speed limit along the path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedLimitChange {
+    /// Arc length at which this limit starts to apply, metres.
+    pub from_arc_length: f64,
+    /// Posted limit from that point on, m/s.
+    pub limit: f64,
+}
+
+/// Configuration of the motion integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionConfig {
+    /// Interval between recorded ground-truth samples, seconds (the paper's
+    /// sensors report once per second).
+    pub sample_interval: f64,
+    /// Internal integration step, seconds (smaller than the sample interval
+    /// for numerical fidelity).
+    pub integration_step: f64,
+    /// Initial speed at the start of the path, m/s.
+    pub initial_speed: f64,
+    /// Spatial resolution of the precomputed speed profile, metres.
+    pub speed_profile_resolution: f64,
+    /// Random seed for the speed wander.
+    pub seed: u64,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        MotionConfig {
+            sample_interval: 1.0,
+            integration_step: 0.2,
+            initial_speed: 0.0,
+            speed_profile_resolution: 10.0,
+            seed: 0x4071_0717,
+        }
+    }
+}
+
+/// Simulates the motion of an object along `path` and returns the ground-truth
+/// trajectory sampled every [`MotionConfig::sample_interval`] seconds.
+///
+/// `speed_limits` must be sorted by `from_arc_length` and cover the start of
+/// the path (an entry with `from_arc_length == 0.0`); `stops` must be sorted
+/// by arc length.
+pub fn simulate_motion(
+    path: &Polyline,
+    speed_limits: &[SpeedLimitChange],
+    stops: &[PlannedStop],
+    profile: &DriverProfile,
+    config: &MotionConfig,
+) -> Vec<GroundTruth> {
+    assert!(config.sample_interval > 0.0 && config.integration_step > 0.0);
+    assert!(
+        !speed_limits.is_empty() && speed_limits[0].from_arc_length <= 0.0,
+        "speed limits must cover the start of the path"
+    );
+    debug_assert!(
+        speed_limits.windows(2).all(|w| w[0].from_arc_length <= w[1].from_arc_length),
+        "speed limits must be sorted"
+    );
+    debug_assert!(
+        stops.windows(2).all(|w| w[0].arc_length <= w[1].arc_length),
+        "stops must be sorted"
+    );
+
+    let total = path.length();
+    let allowed = AllowedSpeedProfile::build(path, speed_limits, profile, config);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut samples = Vec::new();
+    let mut s = 0.0_f64; // arc length travelled
+    let mut v = config.initial_speed.min(allowed.at(0.0));
+    let mut t = 0.0_f64;
+    let mut next_sample_t = 0.0_f64;
+    let mut stop_queue: Vec<PlannedStop> = stops.to_vec();
+    let mut dwell_remaining = 0.0_f64;
+    // Slowly varying multiplicative speed wander in [1-w, 1+w].
+    let mut wander = 1.0_f64;
+
+    let dt = config.integration_step;
+    // Hard cap on simulated time to guarantee termination even with
+    // pathological inputs (e.g. a zero allowed speed everywhere).
+    let max_time = 3600.0 * 24.0;
+
+    while s < total - 0.5 && t < max_time {
+        // Record a sample when due.
+        if t + 1e-9 >= next_sample_t {
+            let position = path.point_at_arc_length(s);
+            let heading = path.heading_at_arc_length(s);
+            samples.push(GroundTruth { t, position, speed: v, heading });
+            next_sample_t += config.sample_interval;
+        }
+
+        if dwell_remaining > 0.0 {
+            dwell_remaining -= dt;
+            v = 0.0;
+            t += dt;
+            continue;
+        }
+
+        // Update the wander factor with a bounded random walk.
+        let w = profile.speed_wander;
+        if w > 0.0 {
+            wander += rng.gen_range(-0.02..0.02);
+            wander = wander.clamp(1.0 - w, 1.0 + w);
+        }
+
+        // Allowed speed here, including braking for the next stop ahead.
+        let mut target = allowed.at(s) * wander;
+        if let Some(stop) = stop_queue.first() {
+            let dist = (stop.arc_length - s).max(0.0);
+            let brake_limit = (2.0 * profile.max_deceleration * dist).sqrt();
+            target = target.min(brake_limit);
+            // Arrived at the stop point (within half a metre or crawling).
+            if dist < 0.5 || (dist < 3.0 && v < 0.3) {
+                dwell_remaining = stop.duration;
+                stop_queue.remove(0);
+                v = 0.0;
+                t += dt;
+                continue;
+            }
+        }
+
+        // Accelerate / decelerate towards the target with bounded rates.
+        if v < target {
+            v = (v + profile.max_acceleration * dt).min(target);
+        } else {
+            v = (v - profile.max_deceleration * dt).max(target.max(0.0));
+        }
+        // Never move backwards; always make minimal progress so the loop
+        // terminates even if the allowed speed collapses to zero.
+        v = v.max(0.0);
+        s += v.max(0.05) * dt;
+        t += dt;
+    }
+
+    // Final sample at the end of the path.
+    let position = path.point_at_arc_length(total);
+    let heading = path.heading_at_arc_length(total);
+    samples.push(GroundTruth { t, position, speed: v, heading });
+    samples
+}
+
+/// Precomputed allowed-speed profile along the path: posted limits, curve
+/// speeds and a backward braking pass.
+struct AllowedSpeedProfile {
+    resolution: f64,
+    values: Vec<f64>,
+}
+
+impl AllowedSpeedProfile {
+    fn build(
+        path: &Polyline,
+        speed_limits: &[SpeedLimitChange],
+        profile: &DriverProfile,
+        config: &MotionConfig,
+    ) -> Self {
+        let total = path.length();
+        let resolution = config.speed_profile_resolution.max(1.0);
+        let n = (total / resolution).ceil() as usize + 1;
+        let mut values = vec![profile.max_speed; n];
+
+        // Posted limits and curve speeds.
+        for (i, value) in values.iter_mut().enumerate() {
+            let s = (i as f64 * resolution).min(total);
+            let posted = posted_limit_at(speed_limits, s);
+            let curve = profile.curve_speed(curve_radius_at(path, s, resolution));
+            *value = profile.cruise_speed(posted).min(curve);
+        }
+        // The object must be able to stop by the end of the path.
+        if let Some(last) = values.last_mut() {
+            *last = 0.0;
+        }
+        // Backward pass: braking envelope so slow sections are approached at a
+        // speed from which they can be reached with comfortable deceleration.
+        for i in (0..n.saturating_sub(1)).rev() {
+            let reachable =
+                (values[i + 1].powi(2) + 2.0 * profile.max_deceleration * resolution).sqrt();
+            values[i] = values[i].min(reachable);
+        }
+        AllowedSpeedProfile { resolution, values }
+    }
+
+    fn at(&self, s: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = ((s / self.resolution) as usize).min(self.values.len() - 1);
+        self.values[idx]
+    }
+}
+
+fn posted_limit_at(speed_limits: &[SpeedLimitChange], s: f64) -> f64 {
+    let mut limit = speed_limits.first().map(|c| c.limit).unwrap_or(f64::INFINITY);
+    for change in speed_limits {
+        if change.from_arc_length <= s {
+            limit = change.limit;
+        } else {
+            break;
+        }
+    }
+    limit
+}
+
+/// Estimates the local curve radius at arc length `s` from the heading change
+/// over a window of ±`ds` metres. Straight geometry returns infinity.
+fn curve_radius_at(path: &Polyline, s: f64, ds: f64) -> f64 {
+    let total = path.length();
+    let a = (s - ds).max(0.0);
+    let b = (s + ds).min(total);
+    if b - a < 1e-6 {
+        return f64::INFINITY;
+    }
+    let ha = path.heading_at_arc_length(a);
+    let hb = path.heading_at_arc_length(b);
+    let dtheta = mbdr_geo::angle_between(ha, hb);
+    if dtheta < 1e-4 {
+        f64::INFINITY
+    } else {
+        (b - a) / dtheta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbdr_geo::{kmh_to_ms, ms_to_kmh, Point};
+
+    fn straight_path(length: f64) -> Polyline {
+        Polyline::straight(Point::new(0.0, 0.0), Point::new(length, 0.0))
+    }
+
+    fn config(seed: u64) -> MotionConfig {
+        MotionConfig { seed, ..MotionConfig::default() }
+    }
+
+    #[test]
+    fn object_reaches_the_end_of_the_path() {
+        let path = straight_path(2_000.0);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(50.0) }];
+        let truth = simulate_motion(&path, &limits, &[], &DriverProfile::city_car(), &config(1));
+        assert!(truth.len() > 10);
+        let last = truth.last().unwrap();
+        assert!(last.position.distance(&Point::new(2_000.0, 0.0)) < 5.0);
+        // Time stamps strictly increase and start at 0.
+        assert_eq!(truth[0].t, 0.0);
+        assert!(truth.windows(2).all(|w| w[1].t > w[0].t));
+    }
+
+    #[test]
+    fn speed_respects_the_posted_limit_and_compliance() {
+        let path = straight_path(5_000.0);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(50.0) }];
+        let profile = DriverProfile::city_car();
+        let truth = simulate_motion(&path, &limits, &[], &profile, &config(2));
+        let max_v = truth.iter().map(|g| g.speed).fold(0.0, f64::max);
+        // Compliance 1.05 plus wander 0.12 → at most ~1.18 × the limit.
+        assert!(ms_to_kmh(max_v) < 50.0 * 1.2, "max speed {} km/h", ms_to_kmh(max_v));
+        assert!(ms_to_kmh(max_v) > 35.0, "should get close to the limit");
+    }
+
+    #[test]
+    fn acceleration_is_bounded() {
+        let path = straight_path(3_000.0);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(100.0) }];
+        let profile = DriverProfile::interurban_car();
+        let truth = simulate_motion(&path, &limits, &[], &profile, &config(3));
+        for w in truth.windows(2) {
+            let dv = w[1].speed - w[0].speed;
+            let dt = w[1].t - w[0].t;
+            assert!(dv / dt <= profile.max_acceleration + 0.3, "accel {} too high", dv / dt);
+            assert!(-dv / dt <= profile.max_deceleration + 0.3, "decel {} too high", -dv / dt);
+        }
+    }
+
+    #[test]
+    fn planned_stop_brings_the_object_to_a_halt() {
+        let path = straight_path(2_000.0);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(50.0) }];
+        let stops = [PlannedStop { arc_length: 1_000.0, duration: 30.0 }];
+        let truth =
+            simulate_motion(&path, &limits, &stops, &DriverProfile::city_car(), &config(4));
+        // There must be a contiguous stretch of ≥ 20 s with (near-)zero speed
+        // around the stop point.
+        let stopped: Vec<&GroundTruth> = truth.iter().filter(|g| g.speed < 0.2).collect();
+        assert!(stopped.len() as f64 >= 20.0, "only {} stopped samples", stopped.len());
+        let stop_pos = Point::new(1_000.0, 0.0);
+        assert!(stopped.iter().any(|g| g.position.distance(&stop_pos) < 20.0));
+        // And the object still reaches the end afterwards.
+        assert!(truth.last().unwrap().position.x > 1_990.0);
+    }
+
+    #[test]
+    fn curves_slow_the_object_down() {
+        // A path with a tight 90° corner: straight 1 km, corner of ~30 m
+        // radius approximated by vertices, straight 1 km.
+        let mut vertices = vec![Point::new(0.0, 0.0), Point::new(1_000.0, 0.0)];
+        for i in 1..=8 {
+            let angle = std::f64::consts::FRAC_PI_2 * i as f64 / 8.0;
+            vertices.push(Point::new(1_000.0 + 30.0 * angle.sin(), 30.0 - 30.0 * angle.cos()));
+        }
+        vertices.push(Point::new(1_030.0, 1_030.0));
+        let path = Polyline::new(vertices);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(100.0) }];
+        let profile = DriverProfile::interurban_car();
+        let truth = simulate_motion(&path, &limits, &[], &profile, &config(5));
+        // Speed in the corner region must be well below the cruise speed.
+        let corner_speed = truth
+            .iter()
+            .filter(|g| g.position.x > 990.0 && g.position.y < 60.0 && g.position.y > 5.0)
+            .map(|g| g.speed)
+            .fold(f64::INFINITY, f64::min);
+        let cruise = truth.iter().map(|g| g.speed).fold(0.0, f64::max);
+        assert!(corner_speed < cruise * 0.6, "corner {corner_speed} vs cruise {cruise}");
+    }
+
+    #[test]
+    fn sampling_interval_is_respected() {
+        let path = straight_path(1_000.0);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(30.0) }];
+        let truth = simulate_motion(&path, &limits, &[], &DriverProfile::city_car(), &config(6));
+        for w in truth.windows(2) {
+            let dt = w[1].t - w[0].t;
+            assert!(dt >= 0.99 && dt <= 1.3, "sample spacing {dt}");
+        }
+    }
+
+    #[test]
+    fn determinism_in_seed() {
+        let path = straight_path(2_000.0);
+        let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(70.0) }];
+        let a = simulate_motion(&path, &limits, &[], &DriverProfile::interurban_car(), &config(9));
+        let b = simulate_motion(&path, &limits, &[], &DriverProfile::interurban_car(), &config(9));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.first(), b.first());
+        assert_eq!(a.last(), b.last());
+    }
+
+    #[test]
+    fn speed_limit_changes_take_effect_along_the_path() {
+        let path = straight_path(4_000.0);
+        let limits = [
+            SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(100.0) },
+            SpeedLimitChange { from_arc_length: 2_000.0, limit: kmh_to_ms(30.0) },
+        ];
+        let profile = DriverProfile::interurban_car();
+        let truth = simulate_motion(&path, &limits, &[], &profile, &config(10));
+        let fast_zone_max = truth
+            .iter()
+            .filter(|g| g.position.x > 500.0 && g.position.x < 1_500.0)
+            .map(|g| g.speed)
+            .fold(0.0, f64::max);
+        let slow_zone_max = truth
+            .iter()
+            .filter(|g| g.position.x > 2_500.0 && g.position.x < 3_500.0)
+            .map(|g| g.speed)
+            .fold(0.0, f64::max);
+        assert!(fast_zone_max > slow_zone_max * 1.5, "{fast_zone_max} vs {slow_zone_max}");
+        assert!(ms_to_kmh(slow_zone_max) < 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the start")]
+    fn missing_speed_limit_at_start_is_rejected() {
+        let path = straight_path(100.0);
+        let limits = [SpeedLimitChange { from_arc_length: 50.0, limit: 10.0 }];
+        let _ = simulate_motion(&path, &limits, &[], &DriverProfile::city_car(), &config(1));
+    }
+}

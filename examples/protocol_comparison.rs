@@ -1,0 +1,70 @@
+//! Compare every protocol variant in the family on one inter-urban drive.
+//!
+//! Beyond the three protocols of the paper's figures, this runs the
+//! higher-order predictor, the probability-enhanced and main-road map
+//! variants, the known-route baseline and the Wolfson-style adaptive policies,
+//! and prints where each sent its updates — a textual version of the Fig. 3 /
+//! Fig. 6 screenshots.
+//!
+//! ```text
+//! cargo run --release -p mbdr-examples --example protocol_comparison
+//! ```
+
+use mbdr_sim::protocols::ProtocolContext;
+use mbdr_sim::runner::{run_protocol, RunConfig};
+use mbdr_sim::ProtocolKind;
+use mbdr_trace::{Scenario, ScenarioKind, TraceStats};
+
+fn main() {
+    let data = Scenario { kind: ScenarioKind::Interurban, scale: 0.2, seed: 99 }.build();
+    println!("inter-urban trace: {}", TraceStats::of(&data.trace));
+    println!();
+
+    let ctx = ProtocolContext::for_scenario(&data);
+    let all = [
+        ProtocolKind::DistanceBased,
+        ProtocolKind::Linear,
+        ProtocolKind::HigherOrder,
+        ProtocolKind::MapBased,
+        ProtocolKind::MapProbability,
+        ProtocolKind::MapMainRoad,
+        ProtocolKind::KnownRoute,
+        ProtocolKind::Adaptive,
+        ProtocolKind::DisconnectionDetection,
+    ];
+
+    println!(
+        "{:<26} {:>9} {:>12} {:>12} {:>13}",
+        "protocol", "updates", "updates/h", "bytes", "max dev [m]"
+    );
+    let mut update_positions = Vec::new();
+    for kind in all {
+        let outcome = run_protocol(&data.trace, kind.build(&ctx, 100.0), RunConfig::default());
+        let m = &outcome.metrics;
+        println!(
+            "{:<26} {:>9} {:>12.1} {:>12} {:>13.1}",
+            kind.label(),
+            m.updates,
+            m.updates_per_hour,
+            m.payload_bytes,
+            m.deviation.max
+        );
+        if kind == ProtocolKind::Linear || kind == ProtocolKind::MapBased {
+            update_positions.push((kind.label(), outcome.updates));
+        }
+    }
+    println!();
+
+    // Fig. 3 vs Fig. 6, textually: where along the drive did linear and
+    // map-based dead reckoning have to send updates?
+    for (label, updates) in update_positions {
+        println!("{label}: {} updates at", updates.len());
+        for chunk in updates.chunks(4) {
+            let line: Vec<String> = chunk
+                .iter()
+                .map(|u| format!("({:>7.0}, {:>7.0})", u.state.position.x, u.state.position.y))
+                .collect();
+            println!("    {}", line.join("  "));
+        }
+    }
+}

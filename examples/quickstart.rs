@@ -1,0 +1,48 @@
+//! Quickstart: track one car across a synthetic city with three update
+//! protocols and compare how many messages each needs.
+//!
+//! ```text
+//! cargo run --release -p mbdr-examples --example quickstart
+//! ```
+
+use mbdr_sim::protocols::ProtocolContext;
+use mbdr_sim::runner::{run_protocol, RunConfig};
+use mbdr_sim::ProtocolKind;
+use mbdr_trace::{Scenario, ScenarioKind, TraceStats};
+
+fn main() {
+    // 1. Build a scenario: a synthetic city map, an errand route across it, a
+    //    kinematic drive along the route and a 1 Hz DGPS-grade sensor trace.
+    //    (scale 0.2 keeps the quickstart under a couple of seconds; use 1.0
+    //    for the paper-length trace.)
+    let data = Scenario { kind: ScenarioKind::City, scale: 0.2, seed: 42 }.build();
+    println!("scenario : {}", data.scenario.kind.name());
+    println!("trace    : {}", TraceStats::of(&data.trace));
+    println!(
+        "map      : {} intersections, {} links",
+        data.network.node_count(),
+        data.network.link_count()
+    );
+    println!();
+
+    // 2. Run the three protocols of the paper at a requested accuracy of
+    //    100 m and compare the update traffic they need.
+    let ctx = ProtocolContext::for_scenario(&data);
+    println!(
+        "{:<28} {:>9} {:>12} {:>14} {:>14}",
+        "protocol", "updates", "updates/h", "mean dev [m]", "max dev [m]"
+    );
+    for kind in ProtocolKind::PAPER_SET {
+        let outcome = run_protocol(&data.trace, kind.build(&ctx, 100.0), RunConfig::default());
+        let m = outcome.metrics;
+        println!(
+            "{:<28} {:>9} {:>12.1} {:>14.1} {:>14.1}",
+            m.protocol, m.updates, m.updates_per_hour, m.deviation.mean, m.deviation.max
+        );
+    }
+    println!();
+    println!("The dead-reckoning protocols honour the same 100 m accuracy bound as the");
+    println!("distance-based baseline while sending a fraction of its updates; the map-based");
+    println!("protocol additionally follows the road geometry, so it wins wherever the route");
+    println!("curves or turns.");
+}

@@ -1,0 +1,59 @@
+//! End-to-end integration: scenario generation → map matching → protocols →
+//! simulator → metrics, across all four movement patterns.
+
+use mbdr_sim::runner::{run_protocol, RunConfig};
+use mbdr_sim::protocols::ProtocolContext;
+use mbdr_sim::{sweep_scenario, ProtocolKind};
+use mbdr_trace::{Scenario, ScenarioKind, TraceStats};
+
+#[test]
+fn every_scenario_runs_the_paper_protocol_set_end_to_end() {
+    for (i, kind) in ScenarioKind::ALL.into_iter().enumerate() {
+        let data = Scenario { kind, scale: 0.05, seed: 100 + i as u64 }.build();
+        let stats = TraceStats::of(&data.trace);
+        assert!(stats.length_km > 0.1, "{kind:?} produced a trivial trace");
+
+        let ctx = ProtocolContext::for_scenario(&data);
+        for protocol in ProtocolKind::PAPER_SET {
+            let outcome =
+                run_protocol(&data.trace, protocol.build(&ctx, 100.0), RunConfig::default());
+            assert!(outcome.metrics.updates >= 1, "{kind:?}/{protocol:?} sent no updates at all");
+            assert!(
+                outcome.metrics.updates as usize <= data.trace.len(),
+                "{kind:?}/{protocol:?} sent more updates than sightings"
+            );
+            assert_eq!(outcome.metrics.deviation.samples, data.trace.len());
+        }
+    }
+}
+
+#[test]
+fn sweep_is_deterministic_for_a_fixed_seed() {
+    let data = Scenario { kind: ScenarioKind::Interurban, scale: 0.05, seed: 7 }.build();
+    let accuracies = [100.0, 300.0];
+    let a = sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    let b = sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+        assert_eq!(pa.protocol, pb.protocol);
+        assert_eq!(pa.metrics.updates, pb.metrics.updates);
+    }
+}
+
+#[test]
+fn update_rate_decreases_as_the_requested_accuracy_loosens() {
+    let data = Scenario { kind: ScenarioKind::City, scale: 0.08, seed: 11 }.build();
+    let accuracies = [20.0, 100.0, 500.0];
+    let result = sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    for protocol in ProtocolKind::PAPER_SET {
+        let rates: Vec<f64> = accuracies
+            .iter()
+            .map(|&a| result.point(protocol, a).unwrap().metrics.updates_per_hour)
+            .collect();
+        assert!(
+            rates[0] >= rates[2],
+            "{protocol:?}: rate at 20 m ({}) should not be below rate at 500 m ({})",
+            rates[0],
+            rates[2]
+        );
+    }
+}

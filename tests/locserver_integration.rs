@@ -1,0 +1,90 @@
+//! Integration of the update protocols with the location service: a small
+//! fleet streams its protocol updates into the service, whose answers must
+//! stay within the accuracy bound of the protocol feeding it.
+
+use mbdr_core::Sighting;
+use mbdr_locserver::{LocationService, ObjectId, ZoneWatcher};
+use mbdr_geo::Point;
+use mbdr_sim::protocols::{ProtocolContext, ProtocolKind};
+use mbdr_trace::{Scenario, ScenarioKind};
+use std::sync::Arc;
+
+#[test]
+fn streamed_updates_keep_the_service_answer_within_the_bound() {
+    let data = Scenario { kind: ScenarioKind::City, scale: 0.05, seed: 61 }.build();
+    let ctx = ProtocolContext::for_scenario(&data);
+    let requested_accuracy = 100.0;
+    let mut protocol = ProtocolKind::MapBased.build(&ctx, requested_accuracy);
+
+    let service = LocationService::new();
+    let object = ObjectId(1);
+    service.register(object, protocol.predictor());
+
+    let mut checked = 0usize;
+    let mut worst = 0.0f64;
+    for (fix, truth) in data.trace.fixes.iter().zip(data.trace.ground_truth.iter()) {
+        if let Some(update) =
+            protocol.on_sighting(Sighting { t: fix.t, position: fix.position, accuracy: fix.accuracy })
+        {
+            assert!(service.apply_update(object, &update));
+        }
+        if let Some(report) = service.position_of(object, fix.t) {
+            let error = report.position.distance(&truth.position);
+            worst = worst.max(error);
+            checked += 1;
+        }
+    }
+    assert!(checked > data.trace.len() / 2, "the service answered for most of the trace");
+    assert!(
+        worst <= requested_accuracy + 25.0,
+        "worst service-side error {worst:.1} m grossly exceeds the {requested_accuracy} m bound"
+    );
+    assert!(service.total_updates() > 0);
+}
+
+#[test]
+fn multi_object_service_supports_dispatch_queries_while_tracking() {
+    // Three objects on the same map, fed fix by fix; in the middle of the run
+    // the dispatcher issues nearest/range queries that must reflect every
+    // object registered so far.
+    let data = Scenario { kind: ScenarioKind::City, scale: 0.04, seed: 62 }.build();
+    let ctx = ProtocolContext::for_scenario(&data);
+    let service = Arc::new(LocationService::new());
+
+    let mut protocols: Vec<_> =
+        (0..3).map(|_| ProtocolKind::Linear.build(&ctx, 150.0)).collect();
+    for (i, p) in protocols.iter().enumerate() {
+        service.register(ObjectId(i as u64), p.predictor());
+    }
+
+    let mut watcher = ZoneWatcher::new();
+    let bb = data.network.bounding_box().unwrap();
+    watcher.add_zone("whole city", bb);
+
+    for (step, fix) in data.trace.fixes.iter().enumerate() {
+        for (i, protocol) in protocols.iter_mut().enumerate() {
+            // Give each object a distinct offset so they are distinguishable.
+            let offset = 40.0 * i as f64;
+            let position = Point::new(fix.position.x + offset, fix.position.y);
+            if let Some(update) = protocol.on_sighting(Sighting {
+                t: fix.t,
+                position,
+                accuracy: fix.accuracy,
+            }) {
+                service.apply_update(ObjectId(i as u64), &update);
+            }
+        }
+        if step == data.trace.len() / 2 {
+            let nearest = service.nearest_objects(&fix.position, fix.t, 3);
+            assert_eq!(nearest.len(), 3, "all three objects are known to the service");
+            assert!(nearest.windows(2).all(|w| {
+                fix.position.distance(&w[0].position) <= fix.position.distance(&w[1].position) + 1e-9
+            }));
+            let everyone = service.objects_in_rect(&bb.inflated(500.0), fix.t);
+            assert_eq!(everyone.len(), 3);
+            let events = watcher.evaluate(&service, fix.t);
+            assert!(events.len() <= 3);
+        }
+    }
+    assert_eq!(service.object_count(), 3);
+}
