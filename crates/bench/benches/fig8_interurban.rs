@@ -16,12 +16,8 @@ fn bench_figure(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sweep", |b| {
         b.iter(|| {
-            let result = sweep_scenario(
-                &data,
-                &ProtocolKind::PAPER_SET,
-                &accuracies,
-                RunConfig::default(),
-            );
+            let result =
+                sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
             assert_eq!(result.points.len(), 6);
             result
         })
@@ -30,8 +26,7 @@ fn bench_figure(c: &mut Criterion) {
 
     // Shape check recorded once per bench run (not timed): dead reckoning must
     // not lose to the distance-based baseline.
-    let result =
-        sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    let result = sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
     for &a in &accuracies {
         let base = result.point(ProtocolKind::DistanceBased, a).unwrap().metrics.updates_per_hour;
         let map = result.point(ProtocolKind::MapBased, a).unwrap().metrics.updates_per_hour;

@@ -11,9 +11,9 @@ fn link_boxes() -> Vec<(Aabb, u32)> {
     net.links()
         .iter()
         .flat_map(|l| {
-            l.geometry.segments().map(move |s| {
-                (Aabb::from_points([s.a, s.b]).expect("two points"), l.id.0)
-            })
+            l.geometry
+                .segments()
+                .map(move |s| (Aabb::from_points([s.a, s.b]).expect("two points"), l.id.0))
         })
         .collect()
 }

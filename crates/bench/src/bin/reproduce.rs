@@ -14,12 +14,13 @@
 //! figure data as CSV instead of a table.
 
 use mbdr_bench::{
-    ablations, figure, figure_number, summary, table1, updates_along_route, scenario_data,
+    ablations, figure, figure_number, scenario_data, summary, table1, updates_along_route,
     DEFAULT_SEED,
 };
 use mbdr_geo::format_duration_hm;
-use mbdr_sim::{render_csv, render_table, ProtocolKind};
+use mbdr_sim::{render_csv, render_json, render_table, ProtocolKind};
 use mbdr_trace::ScenarioKind;
+use std::time::Instant;
 
 struct Options {
     command: String,
@@ -70,9 +71,34 @@ fn die(message: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|all] \
+        "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|json|all] \
          [--scale F] [--seed N] [--csv]"
     );
+}
+
+/// Emits the full figure set as one machine-readable JSON document: scale,
+/// seed, and per figure the sweep data (update counts per protocol and
+/// accuracy) plus the wall-clock time the sweep took. This is the perf and
+/// regression baseline future changes are compared against.
+fn print_json_baseline(scale: f64, seed: u64) {
+    let mut out = String::from("{\"schema\":\"mbdr-reproduce/1\"");
+    out.push_str(&format!(",\"scale\":{scale},\"seed\":{seed},\"figures\":["));
+    for (i, &kind) in ScenarioKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let started = Instant::now();
+        let result = figure(kind, scale, seed);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        out.push_str(&format!(
+            "{{\"figure\":{},\"wall_ms\":{:.1},\"sweep\":{}}}",
+            figure_number(kind),
+            wall_ms,
+            render_json(&result)
+        ));
+    }
+    out.push_str("]}");
+    println!("{out}");
 }
 
 fn print_table1(scale: f64, seed: u64) {
@@ -124,7 +150,10 @@ fn print_summary(scale: f64, seed: u64) {
     for row in summary(&figures) {
         println!(
             "{:<18} {:>23.1}% {:>23.1}% {:>23.1}%",
-            row.scenario, row.linear_vs_distance_pct, row.map_vs_linear_pct, row.map_vs_distance_pct
+            row.scenario,
+            row.linear_vs_distance_pct,
+            row.map_vs_linear_pct,
+            row.map_vs_distance_pct
         );
     }
     println!();
@@ -136,7 +165,9 @@ fn print_summary(scale: f64, seed: u64) {
 fn print_updates_trace(scale: f64, seed: u64) {
     // The Fig. 3 / Fig. 6 comparison: one freeway drive, u_s = 100 m.
     let data = scenario_data(ScenarioKind::Freeway, scale.min(0.2), seed);
-    println!("== Fig. 3 / Fig. 6 analogue: update positions along one freeway drive (u_s = 100 m) ==");
+    println!(
+        "== Fig. 3 / Fig. 6 analogue: update positions along one freeway drive (u_s = 100 m) =="
+    );
     for (label, kind) in
         [("linear-pred dr", ProtocolKind::Linear), ("map-based dr", ProtocolKind::MapBased)]
     {
@@ -187,6 +218,7 @@ fn main() {
             }
         }
         "summary" => print_summary(options.scale, options.seed),
+        "json" => print_json_baseline(options.scale, options.seed),
         "updates-trace" => print_updates_trace(options.scale, options.seed),
         "ablations" => print_ablations(options.scale, options.seed, options.csv),
         "all" => {

@@ -12,8 +12,8 @@
 #![deny(unsafe_code)]
 
 use mbdr_geo::Point;
-use mbdr_sim::runner::{run_protocol, RunConfig};
 use mbdr_sim::protocols::ProtocolContext;
+use mbdr_sim::runner::{run_protocol, RunConfig};
 use mbdr_sim::{sweep_scenario, ProtocolKind, SweepResult};
 use mbdr_trace::{Scenario, ScenarioData, ScenarioKind, TraceStats};
 
@@ -118,11 +118,8 @@ pub fn updates_along_route(
     requested_accuracy: f64,
 ) -> Vec<Point> {
     let ctx = ProtocolContext::for_scenario(data);
-    let outcome = run_protocol(
-        &data.trace,
-        protocol.build(&ctx, requested_accuracy),
-        RunConfig::default(),
-    );
+    let outcome =
+        run_protocol(&data.trace, protocol.build(&ctx, requested_accuracy), RunConfig::default());
     outcome.updates.iter().map(|u| u.state.position).collect()
 }
 

@@ -64,7 +64,11 @@ pub struct AdaptiveDeadReckoning {
 impl AdaptiveDeadReckoning {
     /// Creates the protocol. `base_config.requested_accuracy` is the initial
     /// (and, for [`AdaptivePolicy::Fixed`], permanent) threshold.
-    pub fn new(policy: AdaptivePolicy, base_config: ProtocolConfig, interpolation_window: usize) -> Self {
+    pub fn new(
+        policy: AdaptivePolicy,
+        base_config: ProtocolConfig,
+        interpolation_window: usize,
+    ) -> Self {
         AdaptiveDeadReckoning {
             policy,
             base_config,
@@ -99,8 +103,10 @@ impl AdaptiveDeadReckoning {
             let growth = (deviation / interval).max(0.05);
             let optimal = (2.0 * update_cost * growth / deviation_cost.max(1e-9)).sqrt();
             // Keep the threshold within a sane band around the base accuracy.
-            self.current_threshold =
-                optimal.clamp(self.base_config.requested_accuracy * 0.2, self.base_config.requested_accuracy * 5.0);
+            self.current_threshold = optimal.clamp(
+                self.base_config.requested_accuracy * 0.2,
+                self.base_config.requested_accuracy * 5.0,
+            );
         }
     }
 }
@@ -152,9 +158,7 @@ mod tests {
 
     /// A slalom drive where linear prediction keeps failing.
     fn slalom(n: usize) -> Vec<Point> {
-        (0..n)
-            .map(|t| Point::new(15.0 * t as f64, 100.0 * ((t as f64) * 0.08).sin()))
-            .collect()
+        (0..n).map(|t| Point::new(15.0 * t as f64, 100.0 * ((t as f64) * 0.08).sin())).collect()
     }
 
     fn run(p: &mut dyn UpdateProtocol, positions: &[Point]) -> usize {
@@ -170,7 +174,8 @@ mod tests {
     #[test]
     fn fixed_policy_matches_plain_linear_behaviour() {
         let positions = slalom(300);
-        let mut fixed = AdaptiveDeadReckoning::new(AdaptivePolicy::Fixed, ProtocolConfig::new(50.0), 4);
+        let mut fixed =
+            AdaptiveDeadReckoning::new(AdaptivePolicy::Fixed, ProtocolConfig::new(50.0), 4);
         let mut linear = crate::linear::LinearDeadReckoning::new(ProtocolConfig::new(50.0), 4);
         assert_eq!(run(&mut fixed, &positions), run(&mut linear, &positions));
         assert_eq!(fixed.current_threshold(), 50.0);

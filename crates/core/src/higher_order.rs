@@ -134,7 +134,11 @@ mod tests {
     fn stationary_object_does_not_accumulate_turn_rate() {
         let mut arc = HigherOrderDeadReckoning::new(ProtocolConfig::new(50.0), 2);
         for t in 0..60 {
-            arc.on_sighting(Sighting { t: t as f64, position: Point::new(5.0, 5.0), accuracy: 3.0 });
+            arc.on_sighting(Sighting {
+                t: t as f64,
+                position: Point::new(5.0, 5.0),
+                accuracy: 3.0,
+            });
         }
         assert_eq!(arc.turn_rate, 0.0);
         assert_eq!(arc.predictor().name(), "arc");

@@ -87,7 +87,9 @@ impl MapLearner {
             node_of_cell.insert(*key, builder.add_node(centroid));
         }
         for (a, b) in &self.edges {
-            let (Some(&na), Some(&nb)) = (node_of_cell.get(a), node_of_cell.get(b)) else { continue };
+            let (Some(&na), Some(&nb)) = (node_of_cell.get(a), node_of_cell.get(b)) else {
+                continue;
+            };
             if na == nb {
                 continue;
             }
@@ -204,7 +206,8 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(t, pos)| {
-                    p.on_sighting(Sighting { t: *t as f64, position: **pos, accuracy: 3.0 }).is_some()
+                    p.on_sighting(Sighting { t: *t as f64, position: **pos, accuracy: 3.0 })
+                        .is_some()
                 })
                 .count()
         };

@@ -54,7 +54,7 @@ pub mod server;
 pub mod state;
 pub mod time_based;
 
-pub use adaptive::{AdaptivePolicy, AdaptiveDeadReckoning};
+pub use adaptive::{AdaptiveDeadReckoning, AdaptivePolicy};
 pub use distance_based::DistanceBasedReporting;
 pub use higher_order::HigherOrderDeadReckoning;
 pub use history::{HistoryBasedDeadReckoning, MapLearner};

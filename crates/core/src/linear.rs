@@ -126,7 +126,9 @@ mod tests {
         for t in 0..240 {
             let speed = if t < 120 { 30.0 } else { 5.0 }; // hard braking at t=120
             x += speed;
-            if p.on_sighting(Sighting { t: t as f64, position: Point::new(x, 0.0), accuracy: 3.0 }).is_some() {
+            if p.on_sighting(Sighting { t: t as f64, position: Point::new(x, 0.0), accuracy: 3.0 })
+                .is_some()
+            {
                 updates += 1;
             }
         }
@@ -140,10 +142,7 @@ mod tests {
             let mut updates = 0;
             // A slalom: heading oscillates, so linear prediction keeps failing.
             for t in 0..600 {
-                let pos = Point::new(
-                    15.0 * t as f64,
-                    120.0 * ((t as f64) * 0.05).sin(),
-                );
+                let pos = Point::new(15.0 * t as f64, 120.0 * ((t as f64) * 0.05).sin());
                 if p.on_sighting(Sighting { t: t as f64, position: pos, accuracy: 3.0 }).is_some() {
                     updates += 1;
                 }

@@ -74,7 +74,14 @@ impl MapBasedDeadReckoning {
         policy: IntersectionPolicy,
     ) -> Self {
         let locator = Arc::new(LinkLocator::build(&network));
-        Self::with_locator(network, locator, config, interpolation_window, matching_tolerance, policy)
+        Self::with_locator(
+            network,
+            locator,
+            config,
+            interpolation_window,
+            matching_tolerance,
+            policy,
+        )
     }
 
     /// Creates the protocol reusing an existing [`LinkLocator`] (building the
@@ -251,7 +258,8 @@ mod tests {
     #[test]
     fn update_carries_the_link_and_corrected_position() {
         let (net, positions) = curvy_network();
-        let mut p = MapBasedDeadReckoning::new(Arc::clone(&net), ProtocolConfig::new(50.0), 2, 30.0);
+        let mut p =
+            MapBasedDeadReckoning::new(Arc::clone(&net), ProtocolConfig::new(50.0), 2, 30.0);
         let first = p
             .on_sighting(Sighting { t: 0.0, position: positions[0], accuracy: 3.0 })
             .expect("initial update");
@@ -265,7 +273,8 @@ mod tests {
     #[test]
     fn leaving_the_map_forces_a_mode_change_update_with_empty_link() {
         let (net, positions) = curvy_network();
-        let mut p = MapBasedDeadReckoning::new(Arc::clone(&net), ProtocolConfig::new(500.0), 2, 30.0);
+        let mut p =
+            MapBasedDeadReckoning::new(Arc::clone(&net), ProtocolConfig::new(500.0), 2, 30.0);
         // Start on the road…
         p.on_sighting(Sighting { t: 0.0, position: positions[0], accuracy: 3.0 });
         p.on_sighting(Sighting { t: 1.0, position: positions[1], accuracy: 3.0 });
@@ -293,7 +302,9 @@ mod tests {
         let mut p = MapBasedDeadReckoning::new(net, ProtocolConfig::new(50.0), 2, 30.0);
         let mut updates = 0;
         for t in 0..120 {
-            if p.on_sighting(Sighting { t: t as f64, position: positions[0], accuracy: 3.0 }).is_some() {
+            if p.on_sighting(Sighting { t: t as f64, position: positions[0], accuracy: 3.0 })
+                .is_some()
+            {
                 updates += 1;
             }
         }

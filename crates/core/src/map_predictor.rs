@@ -79,14 +79,11 @@ impl MapPredictor {
             return None;
         }
         let smallest_angle = |candidates: &[LinkId]| -> Option<LinkId> {
-            candidates
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    let da = self.departure_angle(a, node, arrival_direction);
-                    let db = self.departure_angle(b, node, arrival_direction);
-                    da.partial_cmp(&db).expect("angles are finite").then(a.cmp(&b))
-                })
+            candidates.iter().copied().min_by(|&a, &b| {
+                let da = self.departure_angle(a, node, arrival_direction);
+                let db = self.departure_angle(b, node, arrival_direction);
+                da.partial_cmp(&db).expect("angles are finite").then(a.cmp(&b))
+            })
         };
         match &self.policy {
             IntersectionPolicy::SmallestAngle => smallest_angle(&candidates),
@@ -114,11 +111,7 @@ impl MapPredictor {
     /// Angle between the arrival direction and the departure direction of a
     /// candidate link at `node`.
     fn departure_angle(&self, link: LinkId, node: NodeId, arrival_direction: Vec2) -> f64 {
-        let departure = self
-            .network
-            .link(link)
-            .departure_direction(node)
-            .unwrap_or(Vec2::NORTH);
+        let departure = self.network.link(link).departure_direction(node).unwrap_or(Vec2::NORTH);
         arrival_direction.angle_to(&departure)
     }
 }
@@ -347,7 +340,8 @@ mod tests {
     fn off_map_state_uses_linear_prediction() {
         let (net, _, _, _) = y_junction();
         let pred = MapPredictor::new(net);
-        let state = ObjectState::basic(Point::new(0.0, 0.0), 10.0, std::f64::consts::FRAC_PI_2, 0.0);
+        let state =
+            ObjectState::basic(Point::new(0.0, 0.0), 10.0, std::f64::consts::FRAC_PI_2, 0.0);
         let p = pred.predict(&state, 10.0);
         assert!((p.x - 100.0).abs() < 1e-9);
     }

@@ -74,7 +74,11 @@ impl UpdateProtocol for ProbabilityMapDeadReckoning {
 /// this function produces the user-specific probabilities; merging the tables
 /// of many users produces the user-independent variant
 /// ([`TransitionTable::merge`]).
-pub fn learn_transitions_from_route(network: &RoadNetwork, route: &Route, table: &mut TransitionTable) {
+pub fn learn_transitions_from_route(
+    network: &RoadNetwork,
+    route: &Route,
+    table: &mut TransitionTable,
+) {
     for i in 1..route.links.len() {
         let node = route.nodes[i];
         let from_link = route.links[i - 1];
@@ -111,10 +115,8 @@ mod tests {
         let _straight = b.add_straight_link(bb, c, RoadClass::Arterial);
         let right = b.add_straight_link(bb, d, RoadClass::Arterial);
         let net = Arc::new(b.build().unwrap());
-        let route = Route {
-            nodes: vec![NodeId(0), NodeId(1), NodeId(3)],
-            links: vec![approach, right],
-        };
+        let route =
+            Route { nodes: vec![NodeId(0), NodeId(1), NodeId(3)], links: vec![approach, right] };
         assert!(route.is_valid(&net));
         (net, route)
     }
@@ -163,13 +165,8 @@ mod tests {
         }
         let config = ProtocolConfig::new(80.0);
         let mut plain = MapBasedDeadReckoning::new(Arc::clone(&net), config, 2, 30.0);
-        let mut prob = ProbabilityMapDeadReckoning::new(
-            Arc::clone(&net),
-            Arc::new(table),
-            config,
-            2,
-            30.0,
-        );
+        let mut prob =
+            ProbabilityMapDeadReckoning::new(Arc::clone(&net), Arc::new(table), config, 2, 30.0);
         let plain_updates = count_updates(&mut plain, &positions);
         let prob_updates = count_updates(&mut prob, &positions);
         // The smallest-angle policy predicts "straight on" and must correct

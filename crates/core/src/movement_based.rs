@@ -90,7 +90,8 @@ mod tests {
         let mut updates = 0;
         // 10 m per second for 100 s = 1000 m of travel.
         for t in 0..=100 {
-            let s = Sighting { t: t as f64, position: Point::new(10.0 * t as f64, 0.0), accuracy: 3.0 };
+            let s =
+                Sighting { t: t as f64, position: Point::new(10.0 * t as f64, 0.0), accuracy: 3.0 };
             if p.on_sighting(s).is_some() {
                 updates += 1;
             }
@@ -104,8 +105,12 @@ mod tests {
         // Drive around a 40 m × 40 m block: net displacement returns to zero
         // but the path length grows, so updates must still be produced.
         let mut p = MovementBasedReporting::new(100.0, ProtocolConfig::new(100.0));
-        let corners =
-            [Point::new(0.0, 0.0), Point::new(40.0, 0.0), Point::new(40.0, 40.0), Point::new(0.0, 40.0)];
+        let corners = [
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(40.0, 40.0),
+            Point::new(0.0, 40.0),
+        ];
         let mut updates = 0;
         for lap in 0..5 {
             for (i, c) in corners.iter().enumerate() {

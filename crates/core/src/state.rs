@@ -1,6 +1,5 @@
 //! Object state and update messages.
 
-use bytes::{BufMut, Bytes, BytesMut};
 use mbdr_geo::Point;
 use mbdr_roadnet::{LinkId, NodeId};
 use serde::{Deserialize, Serialize};
@@ -90,30 +89,31 @@ impl Update {
     /// would send: sequence number, timestamp, position, speed, heading and —
     /// only when present — link id, arc length and travel direction. Its
     /// length is what the simulator's message accounting charges per update.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
-        buf.put_u64(self.sequence);
-        buf.put_f64(self.state.timestamp);
-        buf.put_f64(self.state.position.x);
-        buf.put_f64(self.state.position.y);
-        buf.put_f32(self.state.speed as f32);
-        buf.put_f32(self.state.heading as f32);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&self.sequence.to_be_bytes());
+        buf.extend_from_slice(&self.state.timestamp.to_be_bytes());
+        buf.extend_from_slice(&self.state.position.x.to_be_bytes());
+        buf.extend_from_slice(&self.state.position.y.to_be_bytes());
+        buf.extend_from_slice(&(self.state.speed as f32).to_be_bytes());
+        buf.extend_from_slice(&(self.state.heading as f32).to_be_bytes());
         match self.state.link {
             Some(link) => {
-                buf.put_u8(1);
-                buf.put_u32(link.0);
-                buf.put_f32(self.state.arc_length as f32);
-                buf.put_u32(self.state.towards.map(|n| n.0).unwrap_or(u32::MAX));
+                buf.push(1);
+                buf.extend_from_slice(&link.0.to_be_bytes());
+                buf.extend_from_slice(&(self.state.arc_length as f32).to_be_bytes());
+                let towards = self.state.towards.map(|n| n.0).unwrap_or(u32::MAX);
+                buf.extend_from_slice(&towards.to_be_bytes());
             }
-            None => buf.put_u8(0),
+            None => buf.push(0),
         }
         if self.state.turn_rate != 0.0 {
-            buf.put_u8(1);
-            buf.put_f32(self.state.turn_rate as f32);
+            buf.push(1);
+            buf.extend_from_slice(&(self.state.turn_rate as f32).to_be_bytes());
         } else {
-            buf.put_u8(0);
+            buf.push(0);
         }
-        buf.freeze()
+        buf
     }
 
     /// Size of the encoded update in bytes.
@@ -149,7 +149,8 @@ mod tests {
 
     #[test]
     fn encoding_is_compact_and_link_dependent() {
-        let with_link = Update { sequence: 1, state: sample_state(), kind: UpdateKind::DeviationBound };
+        let with_link =
+            Update { sequence: 1, state: sample_state(), kind: UpdateKind::DeviationBound };
         let mut without = with_link;
         without.state.link = None;
         // Map-based updates carry the link id + arc length + direction, so they

@@ -54,7 +54,8 @@ impl UpdateProtocol for TimeBasedReporting {
         if !due {
             return None;
         }
-        let kind = if self.last_sent_t.is_none() { UpdateKind::Initial } else { UpdateKind::Periodic };
+        let kind =
+            if self.last_sent_t.is_none() { UpdateKind::Initial } else { UpdateKind::Periodic };
         self.last_sent_t = Some(s.t);
         let update = Update {
             sequence: self.sequence,

@@ -182,9 +182,12 @@ mod tests {
     #[test]
     fn from_points_handles_empty_and_many() {
         assert!(Aabb::from_points(std::iter::empty()).is_none());
-        let bb =
-            Aabb::from_points(vec![Point::new(0.0, 0.0), Point::new(3.0, -2.0), Point::new(1.0, 5.0)])
-                .unwrap();
+        let bb = Aabb::from_points(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, -2.0),
+            Point::new(1.0, 5.0),
+        ])
+        .unwrap();
         assert_eq!(bb.min, Point::new(0.0, -2.0));
         assert_eq!(bb.max, Point::new(3.0, 5.0));
     }

@@ -105,7 +105,10 @@ impl MotionEstimator {
     /// reported as stationary.
     pub fn estimate(&self) -> MotionEstimate {
         if self.samples.len() < 2 {
-            return MotionEstimate { window: self.samples.len().max(1), ..MotionEstimate::stationary() };
+            return MotionEstimate {
+                window: self.samples.len().max(1),
+                ..MotionEstimate::stationary()
+            };
         }
         let (t0, p0) = *self.samples.front().expect("non-empty");
         let (t1, p1) = *self.samples.back().expect("non-empty");
@@ -125,7 +128,12 @@ impl MotionEstimator {
         // Direction: net displacement over the window (noise averages out).
         let displacement = p1 - p0;
         let direction = displacement.normalized_or_north();
-        MotionEstimate { speed, direction, heading: direction.heading(), window: self.samples.len() }
+        MotionEstimate {
+            speed,
+            direction,
+            heading: direction.heading(),
+            window: self.samples.len(),
+        }
     }
 }
 

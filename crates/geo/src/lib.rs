@@ -44,8 +44,8 @@ pub use polyline::{PolyProjection, Polyline};
 pub use projection::LocalProjection;
 pub use segment::{Segment, SegmentProjection};
 pub use units::{
-    format_duration_hm, hours_to_seconds, km_to_m, kmh_to_ms, m_to_km, ms_to_kmh,
-    seconds_to_hours, Meters, MetersPerSecond, Seconds,
+    format_duration_hm, hours_to_seconds, km_to_m, kmh_to_ms, m_to_km, ms_to_kmh, seconds_to_hours,
+    Meters, MetersPerSecond, Seconds,
 };
 pub use vec2::Vec2;
 

@@ -81,11 +81,8 @@ impl Segment {
     pub fn project(&self, p: &Point) -> SegmentProjection {
         let d = self.direction();
         let len2 = d.norm_squared();
-        let t = if len2 <= f64::EPSILON {
-            0.0
-        } else {
-            ((*p - self.a).dot(&d) / len2).clamp(0.0, 1.0)
-        };
+        let t =
+            if len2 <= f64::EPSILON { 0.0 } else { ((*p - self.a).dot(&d) / len2).clamp(0.0, 1.0) };
         let point = self.a.lerp(&self.b, t);
         SegmentProjection { point, t, distance: p.distance(&point) }
     }

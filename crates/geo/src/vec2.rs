@@ -214,8 +214,8 @@ mod tests {
 
     #[test]
     fn from_heading_roundtrip() {
-        for deg in [0.0, 30.0, 90.0, 123.0, 250.0, 359.0] {
-            let h = (deg as f64).to_radians();
+        for deg in [0.0f64, 30.0, 90.0, 123.0, 250.0, 359.0] {
+            let h = deg.to_radians();
             let v = Vec2::from_heading(h);
             assert!(approx_eq(v.norm(), 1.0));
             assert!((v.heading() - h).abs() < 1e-9, "deg {deg}");

@@ -1,8 +1,7 @@
 //! Property-based tests for the geometry substrate.
 
 use mbdr_geo::{
-    angle_between, normalize_angle, Aabb, GeoPoint, LocalProjection, Point, Polyline, Segment,
-    Vec2,
+    angle_between, normalize_angle, Aabb, GeoPoint, LocalProjection, Point, Polyline, Segment, Vec2,
 };
 use proptest::prelude::*;
 

@@ -116,7 +116,9 @@ impl LocationService {
                 ))
             })
             .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object)));
+        out.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object))
+        });
         out.into_iter().take(k).map(|(_, r)| r).collect()
     }
 
@@ -156,7 +158,10 @@ mod tests {
         s.register(ObjectId(7), Arc::new(LinearPredictor));
         assert_eq!(s.object_count(), 1);
         assert!(s.position_of(ObjectId(7), 5.0).is_none(), "no update yet");
-        assert!(s.apply_update(ObjectId(7), &update(0, 0.0, 0.0, 0.0, 10.0, std::f64::consts::FRAC_PI_2)));
+        assert!(s.apply_update(
+            ObjectId(7),
+            &update(0, 0.0, 0.0, 0.0, 10.0, std::f64::consts::FRAC_PI_2)
+        ));
         let report = s.position_of(ObjectId(7), 5.0).unwrap();
         assert!((report.position.x - 50.0).abs() < 1e-9, "linear prediction applies");
         assert!((report.information_age - 5.0).abs() < 1e-9);

@@ -100,7 +100,12 @@ mod tests {
             ObjectId(1),
             &Update {
                 sequence: 0,
-                state: ObjectState::basic(Point::new(0.0, 0.0), 10.0, std::f64::consts::FRAC_PI_2, 0.0),
+                state: ObjectState::basic(
+                    Point::new(0.0, 0.0),
+                    10.0,
+                    std::f64::consts::FRAC_PI_2,
+                    0.0,
+                ),
                 kind: UpdateKind::Initial,
             },
         );

@@ -97,7 +97,11 @@ pub struct MapMatcher {
 
 impl MapMatcher {
     /// Creates a matcher over the given network.
-    pub fn new(network: Arc<RoadNetwork>, locator: Arc<LinkLocator>, config: MatcherConfig) -> Self {
+    pub fn new(
+        network: Arc<RoadNetwork>,
+        locator: Arc<LinkLocator>,
+        config: MatcherConfig,
+    ) -> Self {
         MapMatcher { network, locator, config, current: None, node_history: Vec::new() }
     }
 
@@ -185,10 +189,9 @@ impl MapMatcher {
         // link) and backward tracking (the link choice was wrong).
         let link_length = link.length();
         let near_end_band = (link_length * self.config.endpoint_fraction).max(2.0);
-        let passed_to = proj.arc_length >= link_length - near_end_band
-            && current.travel != Travel::TowardsFrom;
-        let passed_from =
-            proj.arc_length <= near_end_band && current.travel == Travel::TowardsFrom;
+        let passed_to =
+            proj.arc_length >= link_length - near_end_band && current.travel != Travel::TowardsFrom;
+        let passed_from = proj.arc_length <= near_end_band && current.travel == Travel::TowardsFrom;
 
         if passed_to || passed_from {
             let via = if passed_to { link.to } else { link.from };

@@ -60,8 +60,7 @@ fn matched_link_is_usually_the_true_route_link() {
     // link set — the matched link should almost always be one of the links the
     // trip actually uses.
     let data = Scenario::quick(ScenarioKind::Interurban, 25).build();
-    let route_links: std::collections::HashSet<_> =
-        data.trip.route.links.iter().copied().collect();
+    let route_links: std::collections::HashSet<_> = data.trip.route.links.iter().copied().collect();
     let network = Arc::new(data.network);
     let mut matcher = MapMatcher::for_network(
         Arc::clone(&network),

@@ -70,8 +70,7 @@ impl NetworkBuilder {
 
     /// Adds a link whose geometry is the straight line between the two nodes.
     pub fn add_straight_link(&mut self, from: NodeId, to: NodeId, class: RoadClass) -> LinkId {
-        let geometry =
-            Polyline::straight(self.node_position(from), self.node_position(to));
+        let geometry = Polyline::straight(self.node_position(from), self.node_position(to));
         self.add_link_with_geometry(from, to, geometry, class)
     }
 

@@ -69,8 +69,10 @@ pub fn generate(config: &CityConfig) -> RoadNetwork {
         }
     }
     let at = |i: usize, j: usize| ids[j * config.columns + i];
-    let is_arterial_col = |i: usize| config.arterial_every > 0 && i % config.arterial_every == 0;
-    let is_arterial_row = |j: usize| config.arterial_every > 0 && j % config.arterial_every == 0;
+    let is_arterial_col =
+        |i: usize| config.arterial_every > 0 && i.is_multiple_of(config.arterial_every);
+    let is_arterial_row =
+        |j: usize| config.arterial_every > 0 && j.is_multiple_of(config.arterial_every);
 
     // Streets along the grid, with occasional removals of residential edges.
     for j in 0..config.rows {

@@ -41,7 +41,7 @@ impl Default for FreewayConfig {
             max_bend_per_link: 0.35,
             curve_amplitude_m: 120.0,
             crossing_road_length_m: 1_500.0,
-            seed: 0x5EEDF_8EE,
+            seed: 0x5EED_F8EE,
         }
     }
 }
@@ -73,7 +73,7 @@ pub fn generate(config: &FreewayConfig) -> RoadNetwork {
         // itself, which would create unrealistic self-intersections.
         let east = std::f64::consts::FRAC_PI_2;
         heading = heading.clamp(east - 0.9, east + 0.9);
-        position = position + Vec2::from_heading(heading) * config.interchange_spacing_m;
+        position += Vec2::from_heading(heading) * config.interchange_spacing_m;
         interchange_nodes.push(b.add_named_node(position, format!("interchange {i}")));
     }
 
@@ -81,7 +81,8 @@ pub fn generate(config: &FreewayConfig) -> RoadNetwork {
     for w in interchange_nodes.windows(2) {
         let from_pos = b.node_position(w[0]);
         let to_pos = b.node_position(w[1]);
-        let shape = curved_shape_points(&mut rng, from_pos, to_pos, 250.0, config.curve_amplitude_m);
+        let shape =
+            curved_shape_points(&mut rng, from_pos, to_pos, 250.0, config.curve_amplitude_m);
         let link = b.add_link(w[0], w[1], shape, RoadClass::Freeway);
         b.set_speed_limit(link, 130.0);
     }
@@ -97,9 +98,9 @@ pub fn generate(config: &FreewayConfig) -> RoadNetwork {
         let along = (here - prev).normalized_or_north();
         let normal = along.perp();
         for side in [-1.0, 1.0] {
-            let end =
-                here + normal * (side * config.crossing_road_length_m)
-                    + along * rng.gen_range(-200.0..200.0);
+            let end = here
+                + normal * (side * config.crossing_road_length_m)
+                + along * rng.gen_range(-200.0..200.0);
             let stub = b.add_node(end);
             let shape = curved_shape_points(&mut rng, here, end, 200.0, 40.0);
             let link = b.add_link(node, stub, shape, RoadClass::Arterial);
@@ -135,12 +136,8 @@ mod tests {
     #[test]
     fn freeway_length_is_at_least_the_requested_length() {
         let net = generate(&small_config());
-        let freeway_length: f64 = net
-            .links()
-            .iter()
-            .filter(|l| l.class == RoadClass::Freeway)
-            .map(|l| l.length())
-            .sum();
+        let freeway_length: f64 =
+            net.links().iter().filter(|l| l.class == RoadClass::Freeway).map(|l| l.length()).sum();
         assert!(freeway_length >= 20_000.0, "freeway length {freeway_length}");
     }
 

@@ -55,7 +55,13 @@ struct Town {
     east_gate: NodeId,
 }
 
-fn add_town(b: &mut NetworkBuilder, rng: &mut StdRng, center: Point, extent: f64, idx: usize) -> Town {
+fn add_town(
+    b: &mut NetworkBuilder,
+    rng: &mut StdRng,
+    center: Point,
+    extent: f64,
+    idx: usize,
+) -> Town {
     // A village is a plus-shaped set of streets: a centre node, four edge
     // nodes, and the connecting residential links, plus a ring fragment.
     let c = b.add_named_node(center, format!("town {idx} centre"));
@@ -89,11 +95,9 @@ pub fn generate(config: &InterurbanConfig) -> RoadNetwork {
     for i in 0..config.towns {
         towns.push(add_town(&mut b, &mut rng, position, config.town_extent_m, i));
         heading += rng.gen_range(-0.5..0.5);
-        heading = heading.clamp(
-            std::f64::consts::FRAC_PI_2 - 0.8,
-            std::f64::consts::FRAC_PI_2 + 0.8,
-        );
-        position = position + Vec2::from_heading(heading) * config.town_spacing_m;
+        heading =
+            heading.clamp(std::f64::consts::FRAC_PI_2 - 0.8, std::f64::consts::FRAC_PI_2 + 0.8);
+        position += Vec2::from_heading(heading) * config.town_spacing_m;
     }
 
     // Country roads between consecutive villages, with curvature and the

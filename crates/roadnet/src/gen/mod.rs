@@ -65,10 +65,7 @@ pub(crate) fn curved_shape_points(
 
 /// Adds uniform positional jitter of up to `±magnitude` metres to a point.
 pub(crate) fn jitter(rng: &mut StdRng, p: Point, magnitude: f64) -> Point {
-    p + Vec2::new(
-        rng.gen_range(-magnitude..=magnitude),
-        rng.gen_range(-magnitude..=magnitude),
-    )
+    p + Vec2::new(rng.gen_range(-magnitude..=magnitude), rng.gen_range(-magnitude..=magnitude))
 }
 
 #[cfg(test)]
@@ -92,13 +89,8 @@ mod tests {
     #[test]
     fn short_links_get_no_shape_points() {
         let mut rng = StdRng::seed_from_u64(7);
-        let pts = curved_shape_points(
-            &mut rng,
-            Point::new(0.0, 0.0),
-            Point::new(50.0, 0.0),
-            100.0,
-            50.0,
-        );
+        let pts =
+            curved_shape_points(&mut rng, Point::new(0.0, 0.0), Point::new(50.0, 0.0), 100.0, 50.0);
         assert!(pts.is_empty());
     }
 

@@ -67,7 +67,11 @@ pub fn to_text(network: &RoadNetwork) -> String {
     for node in network.nodes() {
         match &node.name {
             Some(name) => {
-                let _ = writeln!(out, "node {} {} {} {}", node.id.0, node.position.x, node.position.y, name);
+                let _ = writeln!(
+                    out,
+                    "node {} {} {} {}",
+                    node.id.0, node.position.x, node.position.y, name
+                );
             }
             None => {
                 let _ = writeln!(out, "node {} {} {}", node.id.0, node.position.x, node.position.y);
@@ -189,7 +193,8 @@ pub fn from_text(text: &str) -> Result<RoadNetwork, ParseError> {
 
     // Links must be added in id order for the dense-id invariant to hold.
     pending_links.sort_by_key(|(id, ..)| *id);
-    for (expected, (id, from, to, class, speed, geometry)) in pending_links.into_iter().enumerate() {
+    for (expected, (id, from, to, class, speed, geometry)) in pending_links.into_iter().enumerate()
+    {
         if id != expected {
             return Err(err(0, "link ids must be dense (0..n)"));
         }
@@ -197,9 +202,7 @@ pub fn from_text(text: &str) -> Result<RoadNetwork, ParseError> {
         builder.set_speed_limit(lid, speed);
     }
 
-    builder
-        .build()
-        .map_err(|e| err(0, &format!("structural validation failed: {e}")))
+    builder.build().map_err(|e| err(0, &format!("structural validation failed: {e}")))
 }
 
 /// Writes a network to a file in the text format.

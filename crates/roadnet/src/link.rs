@@ -251,7 +251,10 @@ mod tests {
 
     #[test]
     fn road_class_properties() {
-        assert!(RoadClass::Freeway.default_speed_limit_kmh() > RoadClass::Residential.default_speed_limit_kmh());
+        assert!(
+            RoadClass::Freeway.default_speed_limit_kmh()
+                > RoadClass::Residential.default_speed_limit_kmh()
+        );
         assert!(RoadClass::Freeway.is_drivable());
         assert!(!RoadClass::Footpath.is_drivable());
         assert!(RoadClass::Freeway.priority() > RoadClass::Arterial.priority());

@@ -107,11 +107,7 @@ impl LinkLocator {
     /// The nearest link regardless of distance (used by diagnostics and by the
     /// off-road re-acquisition logic, which wants to know how far away the
     /// road network is).
-    pub fn nearest_link_unbounded(
-        &self,
-        network: &RoadNetwork,
-        p: &Point,
-    ) -> Option<LinkMatch> {
+    pub fn nearest_link_unbounded(&self, network: &RoadNetwork, p: &Point) -> Option<LinkMatch> {
         // Ask the R-tree for a generous number of nearest segment boxes and
         // refine with exact projections.
         let mut best: Option<LinkMatch> = None;

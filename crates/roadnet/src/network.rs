@@ -101,11 +101,7 @@ impl RoadNetwork {
     /// candidate outgoing links the paper's forward-tracking and prediction
     /// consider when the object reaches an intersection.
     pub fn outgoing_links(&self, node: NodeId, arriving: Option<LinkId>) -> Vec<LinkId> {
-        self.adjacency[node.index()]
-            .iter()
-            .copied()
-            .filter(|&l| Some(l) != arriving)
-            .collect()
+        self.adjacency[node.index()].iter().copied().filter(|&l| Some(l) != arriving).collect()
     }
 
     /// Degree (number of incident links) of a node.
@@ -116,10 +112,7 @@ impl RoadNetwork {
 
     /// Ids of nodes adjacent to `node` (one hop over any incident link).
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        self.adjacency[node.index()]
-            .iter()
-            .filter_map(|&l| self.link(l).other_end(node))
-            .collect()
+        self.adjacency[node.index()].iter().filter_map(|&l| self.link(l).other_end(node)).collect()
     }
 
     /// Bounding box of the whole network, or `None` if it has no nodes.
@@ -162,10 +155,14 @@ impl RoadNetwork {
             let from_pos = self.node(link.from).position;
             let to_pos = self.node(link.to).position;
             if link.geometry.first().distance(&from_pos) > 0.5 {
-                problems.push(format!("link {} geometry does not start at node {}", link.id, link.from));
+                problems.push(format!(
+                    "link {} geometry does not start at node {}",
+                    link.id, link.from
+                ));
             }
             if link.geometry.last().distance(&to_pos) > 0.5 {
-                problems.push(format!("link {} geometry does not end at node {}", link.id, link.to));
+                problems
+                    .push(format!("link {} geometry does not end at node {}", link.id, link.to));
             }
             if link.length() < 1e-6 {
                 problems.push(format!("link {} has zero length", link.id));

@@ -81,7 +81,7 @@ impl Route {
             let link = network.link(link_id);
             let a = self.nodes[i];
             let b = self.nodes[i + 1];
-            if !(link.from == a && link.to == b) && !(link.from == b && link.to == a) {
+            if !(link.from == a && link.to == b || link.from == b && link.to == a) {
                 return false;
             }
         }

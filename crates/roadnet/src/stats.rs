@@ -66,10 +66,18 @@ impl NetworkStats {
             nodes: nodes.len(),
             links: links.len(),
             total_length_m,
-            mean_link_length_m: if links.is_empty() { 0.0 } else { total_length_m / links.len() as f64 },
+            mean_link_length_m: if links.is_empty() {
+                0.0
+            } else {
+                total_length_m / links.len() as f64
+            },
             min_link_length_m: min_l,
             max_link_length_m: max_l,
-            mean_degree: if nodes.is_empty() { 0.0 } else { degree_sum as f64 / nodes.len() as f64 },
+            mean_degree: if nodes.is_empty() {
+                0.0
+            } else {
+                degree_sum as f64 / nodes.len() as f64
+            },
             max_degree,
             decision_nodes,
             shape_points,
@@ -83,7 +91,11 @@ impl fmt::Display for NetworkStats {
         writeln!(f, "links:            {}", self.links)?;
         writeln!(f, "total length:     {:.1} km", self.total_length_m / 1000.0)?;
         writeln!(f, "mean link length: {:.1} m", self.mean_link_length_m)?;
-        writeln!(f, "link length span: {:.1} – {:.1} m", self.min_link_length_m, self.max_link_length_m)?;
+        writeln!(
+            f,
+            "link length span: {:.1} – {:.1} m",
+            self.min_link_length_m, self.max_link_length_m
+        )?;
         writeln!(f, "mean degree:      {:.2}", self.mean_degree)?;
         writeln!(f, "max degree:       {}", self.max_degree)?;
         writeln!(f, "decision nodes:   {}", self.decision_nodes)?;

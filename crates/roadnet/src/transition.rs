@@ -59,9 +59,7 @@ impl TransitionTable {
     pub fn most_likely(&self, node: NodeId, from_link: LinkId) -> Option<LinkId> {
         let key = TransitionKey { node, from_link };
         let dist = self.counts.get(&key)?;
-        dist.iter()
-            .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
-            .map(|(&l, _)| l)
+        dist.iter().max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la))).map(|(&l, _)| l)
     }
 
     /// Probability (relative frequency) that `to_link` is taken in the given

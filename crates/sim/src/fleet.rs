@@ -95,10 +95,8 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
 
     let mut results: Vec<Option<(RunMetrics, Trace)>> = Vec::new();
     results.resize_with(config.objects, || None);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(config.objects);
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(config.objects);
     let chunk = config.objects.div_ceil(workers);
     crossbeam::thread::scope(|scope| {
         for (worker_index, out_chunk) in results.chunks_mut(chunk).enumerate() {

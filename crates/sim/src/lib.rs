@@ -33,6 +33,6 @@ pub use channel::MessageChannel;
 pub use fleet::{FleetConfig, FleetResult};
 pub use metrics::{DeviationStats, RunMetrics};
 pub use protocols::ProtocolKind;
-pub use report::{render_csv, render_table};
+pub use report::{render_csv, render_json, render_table};
 pub use runner::{run_protocol, RunConfig};
 pub use sweep::{sweep_scenario, SweepPoint, SweepResult};

@@ -27,7 +27,13 @@ impl DeviationStats {
     /// accuracy plus sensor uncertainty); larger samples count as violations.
     pub fn from_samples(mut samples: Vec<f64>, allowance: f64) -> Self {
         if samples.is_empty() {
-            return DeviationStats { mean: 0.0, max: 0.0, p95: 0.0, samples: 0, bound_violations: 0 };
+            return DeviationStats {
+                mean: 0.0,
+                max: 0.0,
+                p95: 0.0,
+                samples: 0,
+                bound_violations: 0,
+            };
         }
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;

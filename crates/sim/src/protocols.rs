@@ -8,12 +8,12 @@
 //! are built once per scenario in [`ProtocolContext`] and shared by reference
 //! counting across all runs — exactly what a real deployment would do.
 
+use mbdr_core::map_prob::learn_transitions_from_route;
 use mbdr_core::{
     AdaptiveDeadReckoning, AdaptivePolicy, DistanceBasedReporting, HigherOrderDeadReckoning,
     IntersectionPolicy, KnownRouteDeadReckoning, LinearDeadReckoning, MapBasedDeadReckoning,
     ProbabilityMapDeadReckoning, ProtocolConfig, UpdateProtocol,
 };
-use mbdr_core::map_prob::learn_transitions_from_route;
 use mbdr_geo::Polyline;
 use mbdr_roadnet::{LinkLocator, RoadNetwork, TransitionTable};
 use mbdr_trace::ScenarioData;
@@ -98,8 +98,7 @@ impl ProtocolContext {
         let route_geometry = Arc::new(data.trip.path.clone());
         let mut transitions = TransitionTable::new();
         learn_transitions_from_route(&network, &data.trip.route, &mut transitions);
-        let sensor_uncertainty =
-            data.trace.fixes.first().map(|f| f.accuracy).unwrap_or(3.0);
+        let sensor_uncertainty = data.trace.fixes.first().map(|f| f.accuracy).unwrap_or(3.0);
         ProtocolContext {
             network,
             locator,

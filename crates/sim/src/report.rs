@@ -33,11 +33,7 @@ pub fn render_table(result: &SweepResult, protocols: &[ProtocolKind]) -> String 
                         .relative_to_baseline_pct
                         .map(|r| format!("{r:5.1}%"))
                         .unwrap_or_else(|| "   n/a".to_string());
-                    let _ = write!(
-                        out,
-                        "| {:>9.1}/h {:>10} ",
-                        point.metrics.updates_per_hour, rel
-                    );
+                    let _ = write!(out, "| {:>9.1}/h {:>10} ", point.metrics.updates_per_hour, rel);
                 }
                 None => {
                     let _ = write!(out, "| {:>22} ", "—");
@@ -69,6 +65,79 @@ pub fn render_csv(result: &SweepResult) -> String {
             p.metrics.deviation.max,
         );
     }
+    out
+}
+
+/// Renders the sweep as a JSON object (hand-written, no serializer dep):
+/// scenario, the swept accuracies, and one entry per (protocol, accuracy)
+/// point carrying the update counts and deviation statistics. This is the
+/// machine-readable form consumed as a perf/regression baseline.
+pub fn render_json(result: &SweepResult) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"scenario\":{}", json_string(&result.scenario));
+    let _ = write!(out, ",\"accuracies_m\":[");
+    for (i, a) in result.accuracies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_number(*a));
+    }
+    out.push_str("],\"points\":[");
+    for (i, p) in result.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"protocol\":{},\"requested_accuracy_m\":{},\"updates\":{},\
+             \"updates_per_hour\":{},\"payload_bytes\":{},\"duration_s\":{},\
+             \"relative_to_baseline_pct\":{},\"deviation\":{{\"mean_m\":{},\"p95_m\":{},\
+             \"max_m\":{},\"samples\":{},\"bound_violations\":{}}}}}",
+            json_string(p.protocol.label()),
+            json_number(p.requested_accuracy),
+            p.metrics.updates,
+            json_number(p.metrics.updates_per_hour),
+            p.metrics.payload_bytes,
+            json_number(p.metrics.duration_s),
+            p.relative_to_baseline_pct.map_or_else(|| "null".to_string(), json_number),
+            json_number(p.metrics.deviation.mean),
+            json_number(p.metrics.deviation.p95),
+            json_number(p.metrics.deviation.max),
+            p.metrics.deviation.samples,
+            p.metrics.deviation.bound_violations,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Formats a float as a JSON number (non-finite values become `null`).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a string for JSON.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }
 
@@ -110,7 +179,8 @@ mod tests {
 
     #[test]
     fn table_contains_every_protocol_and_accuracy() {
-        let text = render_table(&fake_result(), &[ProtocolKind::DistanceBased, ProtocolKind::MapBased]);
+        let text =
+            render_table(&fake_result(), &[ProtocolKind::DistanceBased, ProtocolKind::MapBased]);
         assert!(text.contains("car, freeway"));
         assert!(text.contains("distance-based"));
         assert!(text.contains("map-based dr"));
@@ -122,6 +192,27 @@ mod tests {
     fn missing_points_render_as_a_dash() {
         let text = render_table(&fake_result(), &[ProtocolKind::Linear]);
         assert!(text.contains('—'));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_carries_update_counts() {
+        let json = render_json(&fake_result());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scenario\":\"car, freeway\""));
+        assert!(json.contains("\"protocol\":\"map-based dr\""));
+        assert!(json.contains("\"updates\":400"));
+        assert!(json.contains("\"relative_to_baseline_pct\":10"));
+        // Balanced braces/brackets — a cheap structural well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings_and_maps_non_finite_to_null() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(2.5), "2.5");
     }
 
     #[test]

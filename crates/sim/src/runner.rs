@@ -115,8 +115,7 @@ mod tests {
         let data = quick_city();
         let ctx = ProtocolContext::for_scenario(&data);
         for kind in [ProtocolKind::DistanceBased, ProtocolKind::Linear, ProtocolKind::MapBased] {
-            let outcome =
-                run_protocol(&data.trace, kind.build(&ctx, 100.0), RunConfig::default());
+            let outcome = run_protocol(&data.trace, kind.build(&ctx, 100.0), RunConfig::default());
             let violations = outcome.metrics.deviation.bound_violations;
             let samples = outcome.metrics.deviation.samples;
             // The bound is checked against the *sensed* position at 1 Hz, so the

@@ -43,9 +43,9 @@ pub struct SweepResult {
 impl SweepResult {
     /// The measurement for a given protocol and accuracy, if present.
     pub fn point(&self, protocol: ProtocolKind, accuracy: f64) -> Option<&SweepPoint> {
-        self.points.iter().find(|p| {
-            p.protocol == protocol && (p.requested_accuracy - accuracy).abs() < 1e-9
-        })
+        self.points
+            .iter()
+            .find(|p| p.protocol == protocol && (p.requested_accuracy - accuracy).abs() < 1e-9)
     }
 
     /// Maximum reduction (in percent) of the given protocol's update rate
@@ -84,7 +84,8 @@ pub fn sweep_scenario(
     // Parallel fan-out over independent (protocol, accuracy) runs.
     let mut outcomes: Vec<Option<(ProtocolKind, f64, RunMetrics)>> = Vec::new();
     outcomes.resize_with(jobs.len(), || None);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
     crossbeam::thread::scope(|scope| {
         for (chunk_jobs, chunk_out) in jobs
             .chunks(jobs.len().div_ceil(workers))
@@ -108,9 +109,7 @@ pub fn sweep_scenario(
         outcomes.into_iter().map(|o| o.expect("every job ran")).collect();
     let baseline_rate = |accuracy: f64| -> Option<f64> {
         flat.iter()
-            .find(|(k, a, _)| {
-                *k == ProtocolKind::DistanceBased && (*a - accuracy).abs() < 1e-9
-            })
+            .find(|(k, a, _)| *k == ProtocolKind::DistanceBased && (*a - accuracy).abs() < 1e-9)
             .map(|(_, _, m)| m.updates_per_hour)
     };
     let points = flat
@@ -148,12 +147,8 @@ mod tests {
     fn sweep_covers_every_protocol_and_accuracy() {
         let data = Scenario { kind: ScenarioKind::Freeway, scale: 0.05, seed: 3 }.build();
         let accuracies = [50.0, 200.0];
-        let result = sweep_scenario(
-            &data,
-            &ProtocolKind::PAPER_SET,
-            &accuracies,
-            RunConfig::default(),
-        );
+        let result =
+            sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
         assert_eq!(result.points.len(), 6);
         assert!(result.point(ProtocolKind::MapBased, 50.0).is_some());
         assert!(result.point(ProtocolKind::MapBased, 75.0).is_none());
@@ -164,12 +159,8 @@ mod tests {
     fn dead_reckoning_beats_the_baseline_and_rates_fall_with_accuracy() {
         let data = Scenario { kind: ScenarioKind::Freeway, scale: 0.08, seed: 4 }.build();
         let accuracies = [50.0, 250.0];
-        let result = sweep_scenario(
-            &data,
-            &ProtocolKind::PAPER_SET,
-            &accuracies,
-            RunConfig::default(),
-        );
+        let result =
+            sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
         for &a in &accuracies {
             let base = result.point(ProtocolKind::DistanceBased, a).unwrap();
             let linear = result.point(ProtocolKind::Linear, a).unwrap();

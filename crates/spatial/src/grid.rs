@@ -73,10 +73,7 @@ impl<T> GridIndex<T> {
 
     #[inline]
     fn cell_of(&self, p: &Point) -> (i64, i64) {
-        (
-            (p.x / self.cell_size).floor() as i64,
-            (p.y / self.cell_size).floor() as i64,
-        )
+        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }
 
     /// Visits the indexes of entries registered in cells overlapping `query`,

@@ -281,11 +281,8 @@ mod tests {
         let items = grid_points(20, 10.0); // 400 points, 0..190 in each axis
         let t = RTree::bulk_load(items.clone());
         let query = Aabb::new(Point::new(35.0, 35.0), Point::new(75.0, 95.0));
-        let mut expected: Vec<usize> = items
-            .iter()
-            .filter(|(b, _)| b.intersects(&query))
-            .map(|(_, id)| *id)
-            .collect();
+        let mut expected: Vec<usize> =
+            items.iter().filter(|(b, _)| b.intersects(&query)).map(|(_, id)| *id).collect();
         let mut got: Vec<usize> = t.query_rect(&query).iter().map(|e| e.item).collect();
         expected.sort_unstable();
         got.sort_unstable();

@@ -5,12 +5,7 @@ use mbdr_spatial::{GridIndex, RTree, SpatialIndex};
 use proptest::prelude::*;
 
 fn arb_box() -> impl Strategy<Value = Aabb> {
-    (
-        -2_000.0..2_000.0f64,
-        -2_000.0..2_000.0f64,
-        0.0..200.0f64,
-        0.0..200.0f64,
-    )
+    (-2_000.0..2_000.0f64, -2_000.0..2_000.0f64, 0.0..200.0f64, 0.0..200.0f64)
         .prop_map(|(x, y, w, h)| Aabb::new(Point::new(x, y), Point::new(x + w, y + h)))
 }
 

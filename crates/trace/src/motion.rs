@@ -167,10 +167,12 @@ pub fn simulate_motion(
         t += dt;
     }
 
-    // Final sample at the end of the path.
+    // Final sample at the end of the path, kept on the sampling grid: the
+    // object has arrived, and the arrival is recorded at the next due sample
+    // instant so consecutive samples always stay `sample_interval` apart.
     let position = path.point_at_arc_length(total);
     let heading = path.heading_at_arc_length(total);
-    samples.push(GroundTruth { t, position, speed: v, heading });
+    samples.push(GroundTruth { t: next_sample_t, position, speed: v, heading });
     samples
 }
 
@@ -311,8 +313,7 @@ mod tests {
         let path = straight_path(2_000.0);
         let limits = [SpeedLimitChange { from_arc_length: 0.0, limit: kmh_to_ms(50.0) }];
         let stops = [PlannedStop { arc_length: 1_000.0, duration: 30.0 }];
-        let truth =
-            simulate_motion(&path, &limits, &stops, &DriverProfile::city_car(), &config(4));
+        let truth = simulate_motion(&path, &limits, &stops, &DriverProfile::city_car(), &config(4));
         // There must be a contiguous stretch of ≥ 20 s with (near-)zero speed
         // around the stop point.
         let stopped: Vec<&GroundTruth> = truth.iter().filter(|g| g.speed < 0.2).collect();
@@ -354,7 +355,7 @@ mod tests {
         let truth = simulate_motion(&path, &limits, &[], &DriverProfile::city_car(), &config(6));
         for w in truth.windows(2) {
             let dt = w[1].t - w[0].t;
-            assert!(dt >= 0.99 && dt <= 1.3, "sample spacing {dt}");
+            assert!((0.99..=1.3).contains(&dt), "sample spacing {dt}");
         }
     }
 

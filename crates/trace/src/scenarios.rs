@@ -38,8 +38,12 @@ pub enum ScenarioKind {
 
 impl ScenarioKind {
     /// All four scenarios in the order the paper presents them.
-    pub const ALL: [ScenarioKind; 4] =
-        [ScenarioKind::Freeway, ScenarioKind::Interurban, ScenarioKind::City, ScenarioKind::Walking];
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Freeway,
+        ScenarioKind::Interurban,
+        ScenarioKind::City,
+        ScenarioKind::Walking,
+    ];
 
     /// Human-readable name matching the paper's Table 1 rows.
     pub fn name(self) -> &'static str {

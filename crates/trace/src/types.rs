@@ -68,10 +68,7 @@ impl Trace {
 
     /// Total ground-truth path length in metres.
     pub fn path_length(&self) -> f64 {
-        self.ground_truth
-            .windows(2)
-            .map(|w| w[0].position.distance(&w[1].position))
-            .sum()
+        self.ground_truth.windows(2).map(|w| w[0].position.distance(&w[1].position)).sum()
     }
 
     /// Appends a sample pair, keeping the two streams aligned.
@@ -97,10 +94,7 @@ impl Trace {
             return Some(last.position);
         }
         // Binary search for the sample interval containing t.
-        let idx = self
-            .ground_truth
-            .partition_point(|g| g.t <= t)
-            .saturating_sub(1);
+        let idx = self.ground_truth.partition_point(|g| g.t <= t).saturating_sub(1);
         let a = &self.ground_truth[idx];
         let b = &self.ground_truth[(idx + 1).min(self.ground_truth.len() - 1)];
         if (b.t - a.t).abs() < 1e-12 {
@@ -113,10 +107,7 @@ impl Trace {
     /// A sub-trace containing only samples with `t < cutoff` (used in tests).
     pub fn truncated(&self, cutoff: f64) -> Trace {
         let n = self.fixes.partition_point(|f| f.t < cutoff);
-        Trace {
-            fixes: self.fixes[..n].to_vec(),
-            ground_truth: self.ground_truth[..n].to_vec(),
-        }
+        Trace { fixes: self.fixes[..n].to_vec(), ground_truth: self.ground_truth[..n].to_vec() }
     }
 }
 
@@ -130,7 +121,12 @@ mod tests {
             let time = i as f64;
             let pos = Point::new(10.0 * i as f64, 0.0);
             t.push(
-                GroundTruth { t: time, position: pos, speed: 10.0, heading: std::f64::consts::FRAC_PI_2 },
+                GroundTruth {
+                    t: time,
+                    position: pos,
+                    speed: 10.0,
+                    heading: std::f64::consts::FRAC_PI_2,
+                },
                 Fix { t: time, position: pos, accuracy: 3.0 },
             );
         }

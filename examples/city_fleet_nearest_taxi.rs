@@ -10,10 +10,10 @@
 //! ```
 
 use mbdr_core::{ObjectState, Update, UpdateKind};
+use mbdr_geo::{Aabb, Point};
 use mbdr_locserver::{LocationService, ObjectId, ZoneWatcher};
 use mbdr_sim::fleet::{run_fleet, FleetConfig};
 use mbdr_sim::ProtocolKind;
-use mbdr_geo::{Aabb, Point};
 use std::sync::Arc;
 
 fn main() {
@@ -57,7 +57,10 @@ fn main() {
     // 3. Dispatch queries.
     let now = fleet.traces.iter().filter_map(|t| t.fixes.last()).map(|f| f.t).fold(0.0, f64::max);
     let customer = Point::new(1_800.0, 1_800.0);
-    println!("customer waiting at ({:.0} m, {:.0} m); three nearest taxis:", customer.x, customer.y);
+    println!(
+        "customer waiting at ({:.0} m, {:.0} m); three nearest taxis:",
+        customer.x, customer.y
+    );
     for report in service.nearest_objects(&customer, now, 3) {
         println!(
             "  taxi #{:<2} at ({:>7.0} m, {:>7.0} m), {:.0} m away, info {:.0} s old",
@@ -76,7 +79,8 @@ fn main() {
 
     // 4. Zone subscription: get notified when taxis enter the airport zone.
     let mut watcher = ZoneWatcher::new();
-    watcher.add_zone("airport", Aabb::new(Point::new(2_500.0, 2_500.0), Point::new(3_800.0, 3_800.0)));
+    watcher
+        .add_zone("airport", Aabb::new(Point::new(2_500.0, 2_500.0), Point::new(3_800.0, 3_800.0)));
     let events = watcher.evaluate(&service, now);
     println!("zone events at the airport: {}", events.len());
     for event in events {

@@ -21,8 +21,7 @@ fn main() {
     println!();
 
     let accuracies = data.scenario.kind.accuracy_sweep();
-    let result =
-        sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    let result = sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
     print!("{}", render_table(&result, &ProtocolKind::PAPER_SET));
     println!();
 

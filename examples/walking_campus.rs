@@ -28,20 +28,20 @@ fn main() {
 
     // The paper sweeps 20–250 m for the walking person.
     let accuracies = data.scenario.kind.accuracy_sweep();
-    let result =
-        sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
+    let result = sweep_scenario(&data, &ProtocolKind::PAPER_SET, &accuracies, RunConfig::default());
     print!("{}", render_table(&result, &ProtocolKind::PAPER_SET));
     println!();
 
     let tight = accuracies[0];
-    if let (Some(linear), Some(map)) = (
-        result.point(ProtocolKind::Linear, tight),
-        result.point(ProtocolKind::MapBased, tight),
-    ) {
+    if let (Some(linear), Some(map)) =
+        (result.point(ProtocolKind::Linear, tight), result.point(ProtocolKind::MapBased, tight))
+    {
         println!(
             "at the tightest bound (u_s = {tight} m): linear {:.0}/h vs map-based {:.0}/h — the",
             linear.metrics.updates_per_hour, map.metrics.updates_per_hour
         );
-        println!("map hardly helps a walker at GPS-noise-scale accuracies, exactly as Fig. 10 shows.");
+        println!(
+            "map hardly helps a walker at GPS-noise-scale accuracies, exactly as Fig. 10 shows."
+        );
     }
 }

@@ -1,0 +1,137 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal but functional bench harness exposing the Criterion API surface
+//! the workspace's benches use: `Criterion::benchmark_group`, group
+//! `sample_size` / `bench_function` / `finish`, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark runs
+//! `sample_size` timed samples after a short warm-up and prints
+//! min / mean / max per-iteration wall time.
+
+use std::time::Instant;
+
+/// Re-export of the standard black box to defeat constant folding.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    /// Total elapsed nanoseconds across the `iters` measured iterations.
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Top-level bench driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; prints a separator for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Warm-up sample, not recorded.
+    let mut bencher = Bencher { iters: 1, elapsed_ns: 0 };
+    f(&mut bencher);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher { iters: 1, elapsed_ns: 0 };
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed_ns as f64 / bencher.iters as f64);
+    }
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0_f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {name:<40} [{:>12} {:>12} {:>12}] ({} samples)",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max),
+        samples
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Groups bench target functions into one callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running the given bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

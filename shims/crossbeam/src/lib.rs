@@ -1,0 +1,44 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Implements `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since Rust 1.63). Spawn closures receive the scope as an argument,
+//! matching crossbeam's signature (`scope.spawn(|scope| ...)`), so call sites
+//! written against crossbeam compile unchanged.
+//!
+//! Divergence from crossbeam: a panicking child thread propagates the panic
+//! out of `scope` (std semantics) instead of surfacing it as `Err`. Every
+//! call site in this workspace immediately `.expect()`s the result, so the
+//! observable behaviour — abort with the panic message — is the same.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which all spawned threads are joined before
+    /// returning. Always `Ok` (see module docs on panic semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro (with an optional `#![proptest_config(...)]` header and `param in
+//! strategy` bindings), range strategies, tuple strategies, `prop_map`,
+//! `proptest::collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Semantics differ from real proptest in one way that matters: failing cases
+//! are **not shrunk** — a failure reports the sampled values via the assert
+//! message only. Case generation is deterministic per test (seeded from the
+//! test's name), so failures reproduce across runs.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng, UniformSample};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.base.sample_value(rng))
+    }
+}
+
+impl<T: UniformSample> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SampleRange, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Produces `Vec`s of `elem` values with a length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut super::StdRng) -> Self::Value {
+            let n = self.len.clone().sample_from(rng);
+            (0..n).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Seeds the per-test RNG deterministically from the test name (FNV-1a).
+pub fn seed_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Draws one value from a strategy (used by the `proptest!` expansion).
+pub fn sample_one<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.sample_value(rng)
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a property holds (plain `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts two values are equal (plain `assert_eq!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Declares property tests: each `param in strategy` binding is sampled per
+/// case and the body re-run `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident( $($param:ident in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::seed_rng(stringify!($name));
+                for _case in 0..config.cases {
+                    $( let $param = $crate::sample_one(&($strategy), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only uses serde as derive annotations on data types (no
+//! serializer is ever invoked — JSON output in `mbdr-bench` is hand-written).
+//! This shim keeps those annotations compiling without registry access:
+//! marker traits with blanket impls, plus no-op derives from the
+//! `serde_derive` shim.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

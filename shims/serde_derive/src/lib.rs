@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The derives expand to nothing: the sibling `serde` shim provides blanket
+//! implementations of `Serialize`/`Deserialize`, so annotated types satisfy
+//! any serde trait bound without generated code.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

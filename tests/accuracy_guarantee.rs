@@ -106,7 +106,7 @@ proptest! {
             let err = server.position_at(t as f64).unwrap().distance(&position);
             prop_assert!(err <= us + speed + 1e-6, "error {err} exceeds u_s {us} plus one step");
             heading += turn_rate;
-            position = position + Vec2::from_heading(heading) * speed;
+            position += Vec2::from_heading(heading) * speed;
         }
     }
 }

@@ -1,8 +1,8 @@
 //! End-to-end integration: scenario generation → map matching → protocols →
 //! simulator → metrics, across all four movement patterns.
 
-use mbdr_sim::runner::{run_protocol, RunConfig};
 use mbdr_sim::protocols::ProtocolContext;
+use mbdr_sim::runner::{run_protocol, RunConfig};
 use mbdr_sim::{sweep_scenario, ProtocolKind};
 use mbdr_trace::{Scenario, ScenarioKind, TraceStats};
 

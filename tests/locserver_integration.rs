@@ -3,8 +3,8 @@
 //! stay within the accuracy bound of the protocol feeding it.
 
 use mbdr_core::Sighting;
-use mbdr_locserver::{LocationService, ObjectId, ZoneWatcher};
 use mbdr_geo::Point;
+use mbdr_locserver::{LocationService, ObjectId, ZoneWatcher};
 use mbdr_sim::protocols::{ProtocolContext, ProtocolKind};
 use mbdr_trace::{Scenario, ScenarioKind};
 use std::sync::Arc;
@@ -23,9 +23,11 @@ fn streamed_updates_keep_the_service_answer_within_the_bound() {
     let mut checked = 0usize;
     let mut worst = 0.0f64;
     for (fix, truth) in data.trace.fixes.iter().zip(data.trace.ground_truth.iter()) {
-        if let Some(update) =
-            protocol.on_sighting(Sighting { t: fix.t, position: fix.position, accuracy: fix.accuracy })
-        {
+        if let Some(update) = protocol.on_sighting(Sighting {
+            t: fix.t,
+            position: fix.position,
+            accuracy: fix.accuracy,
+        }) {
             assert!(service.apply_update(object, &update));
         }
         if let Some(report) = service.position_of(object, fix.t) {
@@ -51,8 +53,7 @@ fn multi_object_service_supports_dispatch_queries_while_tracking() {
     let ctx = ProtocolContext::for_scenario(&data);
     let service = Arc::new(LocationService::new());
 
-    let mut protocols: Vec<_> =
-        (0..3).map(|_| ProtocolKind::Linear.build(&ctx, 150.0)).collect();
+    let mut protocols: Vec<_> = (0..3).map(|_| ProtocolKind::Linear.build(&ctx, 150.0)).collect();
     for (i, p) in protocols.iter().enumerate() {
         service.register(ObjectId(i as u64), p.predictor());
     }
@@ -66,11 +67,9 @@ fn multi_object_service_supports_dispatch_queries_while_tracking() {
             // Give each object a distinct offset so they are distinguishable.
             let offset = 40.0 * i as f64;
             let position = Point::new(fix.position.x + offset, fix.position.y);
-            if let Some(update) = protocol.on_sighting(Sighting {
-                t: fix.t,
-                position,
-                accuracy: fix.accuracy,
-            }) {
+            if let Some(update) =
+                protocol.on_sighting(Sighting { t: fix.t, position, accuracy: fix.accuracy })
+            {
                 service.apply_update(ObjectId(i as u64), &update);
             }
         }
@@ -78,7 +77,8 @@ fn multi_object_service_supports_dispatch_queries_while_tracking() {
             let nearest = service.nearest_objects(&fix.position, fix.t, 3);
             assert_eq!(nearest.len(), 3, "all three objects are known to the service");
             assert!(nearest.windows(2).all(|w| {
-                fix.position.distance(&w[0].position) <= fix.position.distance(&w[1].position) + 1e-9
+                fix.position.distance(&w[0].position)
+                    <= fix.position.distance(&w[1].position) + 1e-9
             }));
             let everyone = service.objects_in_rect(&bb.inflated(500.0), fix.t);
             assert_eq!(everyone.len(), 3);

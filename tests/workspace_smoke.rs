@@ -1,0 +1,62 @@
+//! Workspace smoke test: one pass through the cross-crate wiring.
+//!
+//! Exercises the seams the workspace manifests stitch together — a
+//! `LocationService` register → update → `position_at` round trip driven by a
+//! real protocol over a real synthetic trace, and one parallel
+//! `FleetConfig::default()` run. If any inter-crate boundary (geo → roadnet →
+//! trace → core → sim → locserver) regresses, this is the first test to go
+//! red.
+
+use mbdr_core::Sighting;
+use mbdr_locserver::{LocationService, ObjectId};
+use mbdr_sim::fleet::{run_fleet, FleetConfig};
+use mbdr_sim::protocols::{ProtocolContext, ProtocolKind};
+use mbdr_trace::{Scenario, ScenarioKind};
+
+#[test]
+fn location_service_register_update_position_round_trip() {
+    let data = Scenario { kind: ScenarioKind::Freeway, scale: 0.05, seed: 7 }.build();
+    let ctx = ProtocolContext::for_scenario(&data);
+    let requested_accuracy = 100.0;
+    let mut protocol = ProtocolKind::MapBased.build(&ctx, requested_accuracy);
+
+    let service = LocationService::new();
+    let object = ObjectId(42);
+    service.register(object, protocol.predictor());
+    assert_eq!(service.object_count(), 1);
+
+    // Before any update the service cannot answer.
+    let first_t = data.trace.fixes.first().expect("non-empty trace").t;
+    assert!(service.position_of(object, first_t).is_none());
+
+    let mut applied = 0u64;
+    let mut worst = 0.0f64;
+    for (fix, truth) in data.trace.fixes.iter().zip(data.trace.ground_truth.iter()) {
+        let sighting = Sighting { t: fix.t, position: fix.position, accuracy: fix.accuracy };
+        if let Some(update) = protocol.on_sighting(sighting) {
+            assert!(service.apply_update(object, &update), "update for a registered object");
+            applied += 1;
+        }
+        let report = service.position_of(object, fix.t).expect("position after first update");
+        worst = worst.max(report.position.distance(&truth.position));
+    }
+    assert!(applied >= 2, "a real trace needs several updates, got {applied}");
+    assert_eq!(service.total_updates(), applied);
+    // The service's answers come from the protocol's own predictor, so the
+    // deviation bound (requested accuracy + sensor slack) must hold here too.
+    assert!(worst <= requested_accuracy + 25.0, "worst service-side deviation {worst:.1} m");
+
+    service.deregister(object);
+    assert_eq!(service.object_count(), 0);
+}
+
+#[test]
+fn default_fleet_run_completes_and_tracks_every_object() {
+    let config = FleetConfig::default();
+    let result = run_fleet(&config);
+    assert_eq!(result.per_object.len(), config.objects);
+    assert_eq!(result.traces.len(), config.objects);
+    assert_eq!(result.total_updates, result.per_object.iter().map(|m| m.updates).sum::<u64>());
+    assert!(result.total_updates > 0, "a moving fleet must send updates");
+    assert!(result.mean_updates_per_hour > 0.0);
+}
