@@ -1,0 +1,72 @@
+//! Criterion micro-benches of the sharded location service's hot paths:
+//! update ingestion (index re-anchor included) and the two motivating
+//! queries, at 1 vs. 16 shards so lock striping and index pruning stay
+//! visible in the numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mbdr_core::{LinearPredictor, ObjectState, Update, UpdateKind};
+use mbdr_geo::{Aabb, Point};
+use mbdr_locserver::{LocationService, ObjectId, ServiceConfig};
+use std::sync::Arc;
+
+const OBJECTS: u64 = 512;
+
+fn update_for(object: u64, step: u64) -> Update {
+    // A deterministic swirl of vehicles over a ~8 km square.
+    let phase = (object * 37 + step * 11) % 8_000;
+    Update {
+        sequence: step,
+        state: ObjectState::basic(
+            Point::new((object * 16 % 8_000) as f64, phase as f64),
+            12.0,
+            (object % 6) as f64,
+            step as f64,
+        ),
+        kind: UpdateKind::DeviationBound,
+    }
+}
+
+fn populated(shards: usize) -> LocationService {
+    let service = LocationService::with_config(ServiceConfig::with_shards(shards));
+    for object in 0..OBJECTS {
+        service.register(ObjectId(object), Arc::new(LinearPredictor));
+        service.apply_update(ObjectId(object), &update_for(object, 0));
+    }
+    service
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut ingest = c.benchmark_group("service_ingest_4096_updates");
+    for shards in [1usize, 16] {
+        let service = populated(shards);
+        ingest.bench_function(&format!("shards_{shards}"), |b| {
+            let mut step = 0u64;
+            b.iter(|| {
+                step += 1;
+                for object in 0..4_096u64 {
+                    service.apply_update(ObjectId(object % OBJECTS), &update_for(object, step));
+                }
+                service.total_updates()
+            })
+        });
+    }
+    ingest.finish();
+
+    let mut query = c.benchmark_group("service_queries_512_objects");
+    for shards in [1usize, 16] {
+        let service = populated(shards);
+        query.bench_function(&format!("rect_600m/shards_{shards}"), |b| {
+            b.iter(|| {
+                let area = Aabb::around(Point::new(4_000.0, 4_000.0), 600.0);
+                black_box(service.objects_in_rect(&area, 1.0)).len()
+            })
+        });
+        query.bench_function(&format!("nearest_5/shards_{shards}"), |b| {
+            b.iter(|| black_box(service.nearest_objects(&Point::new(4_000.0, 4_000.0), 1.0, 5)))
+        });
+    }
+    query.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

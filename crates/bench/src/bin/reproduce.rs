@@ -1,4 +1,5 @@
-//! `reproduce` — regenerate every table and figure of the paper.
+//! `reproduce` — regenerate every table and figure of the paper, plus the
+//! post-paper perf baselines.
 //!
 //! ```text
 //! cargo run --release -p mbdr-bench --bin reproduce -- all --scale 1.0
@@ -7,12 +8,14 @@
 //! cargo run --release -p mbdr-bench --bin reproduce -- summary
 //! cargo run --release -p mbdr-bench --bin reproduce -- updates-trace
 //! cargo run --release -p mbdr-bench --bin reproduce -- ablations --scale 0.25
+//! cargo run --release -p mbdr-bench --bin reproduce -- throughput --scale 0.02
 //! ```
 //!
 //! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
 //! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
 //! figure data as CSV instead of a table.
 
+use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
 use mbdr_bench::{
     ablations, figure, figure_number, scenario_data, summary, table1, updates_along_route,
     DEFAULT_SEED,
@@ -71,8 +74,8 @@ fn die(message: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|json|all] \
-         [--scale F] [--seed N] [--csv]"
+        "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
+         json|throughput|all] [--scale F] [--seed N] [--csv]"
     );
 }
 
@@ -180,6 +183,14 @@ fn print_updates_trace(scale: f64, seed: u64) {
     println!();
 }
 
+/// Emits the concurrent service-workload sweep (objects × shards × query mix
+/// → updates/s, queries/s, query-observed accuracy) as one JSON document —
+/// the sharded location service's perf baseline.
+fn print_throughput(scale: f64, seed: u64) {
+    let reports = throughput_grid(scale, seed);
+    println!("{}", render_throughput_json(scale, seed, &reports));
+}
+
 fn print_ablations(scale: f64, seed: u64, csv: bool) {
     for ablation in ablations(scale, seed) {
         println!("== Ablation: {} ==", ablation.name);
@@ -219,6 +230,7 @@ fn main() {
         }
         "summary" => print_summary(options.scale, options.seed),
         "json" => print_json_baseline(options.scale, options.seed),
+        "throughput" => print_throughput(options.scale, options.seed),
         "updates-trace" => print_updates_trace(options.scale, options.seed),
         "ablations" => print_ablations(options.scale, options.seed, options.csv),
         "all" => {

@@ -6,10 +6,15 @@
 //! Fig. 3 / Fig. 6 comparison (where along the route each protocol had to send
 //! an update), and [`ablations`] runs the additional design-choice studies
 //! DESIGN.md lists. The `reproduce` binary is a thin CLI over these functions,
-//! and the Criterion benches reuse them at reduced scale.
+//! and the Criterion benches reuse them at reduced scale. Beyond the paper's
+//! artefacts, [`throughput`] sweeps the concurrent fleet workload over the
+//! sharded location service (objects × shards × query mix) as the service's
+//! perf baseline.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+
+pub mod throughput;
 
 use mbdr_geo::Point;
 use mbdr_sim::protocols::ProtocolContext;

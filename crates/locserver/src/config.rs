@@ -1,0 +1,67 @@
+//! Tuning knobs of the sharded location service.
+
+/// Configuration of a [`crate::LocationService`].
+///
+/// The defaults are sized for a metropolitan fleet: enough shards that update
+/// ingestion from many producer threads rarely contends, grid cells on the
+/// order of a city block, and an index horizon long enough that an object
+/// reporting at the paper's update rates (one message per tens of seconds to
+/// minutes) only occasionally needs a lazy index refresh between updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of lock stripes the object store is partitioned into. Objects
+    /// are assigned to shards by id hash; every shard has its own lock and its
+    /// own spatial index, so no operation ever takes a global lock.
+    pub shards: usize,
+    /// Cell size of the per-shard moving-object grid index, metres.
+    pub cell_size_m: f64,
+    /// Index staleness horizon, seconds: how far past an object's last report
+    /// its index bounding box stays valid before a query lazily re-grows it.
+    pub horizon_s: f64,
+    /// Extra growth of every index bounding box, metres. Setting this to the
+    /// protocols' requested accuracy `u_s` keeps the box conservative even
+    /// for prediction functions that deviate from the constant-speed path
+    /// model by up to the accuracy bound.
+    pub slack_m: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 16, cell_size_m: 250.0, horizon_s: 30.0, slack_m: 100.0 }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with the given shard count and default index tuning.
+    pub fn with_shards(shards: usize) -> Self {
+        ServiceConfig { shards, ..ServiceConfig::default() }
+    }
+
+    /// Validates the configuration, normalising degenerate values.
+    pub(crate) fn validated(mut self) -> Self {
+        assert!(self.cell_size_m > 0.0, "cell size must be positive");
+        assert!(self.horizon_s > 0.0, "staleness horizon must be positive");
+        assert!(self.slack_m >= 0.0, "slack must be non-negative");
+        self.shards = self.shards.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_and_shard_count_is_clamped() {
+        let d = ServiceConfig::default();
+        assert!(d.shards >= 1 && d.cell_size_m > 0.0 && d.horizon_s > 0.0);
+        assert_eq!(ServiceConfig { shards: 0, ..d }.validated().shards, 1);
+        assert_eq!(ServiceConfig::with_shards(8).shards, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_is_rejected() {
+        let _ = ServiceConfig { cell_size_m: 0.0, ..ServiceConfig::default() }.validated();
+    }
+}

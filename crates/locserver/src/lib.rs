@@ -1,26 +1,55 @@
-//! # mbdr-locserver — the location service
+//! # mbdr-locserver — the sharded location service
 //!
 //! The paper's motivation is a location service that "provides, for example,
 //! the functionality to find the nearest taxi cab depending on the user's
 //! current location or to address all users that are currently inside a
 //! department of a store". This crate is that service, built on the
-//! server-side trackers of `mbdr-core`:
+//! server-side trackers of `mbdr-core` and scaled for whole fleets:
 //!
-//! * [`LocationService`] stores one [`mbdr_core::ServerTracker`] per tracked
-//!   object behind a [`parking_lot::RwLock`], so update ingestion (writes) and
-//!   position queries (reads) can proceed concurrently from many threads;
+//! * [`LocationService`] partitions the object store into
+//!   [`ServiceConfig::shards`] lock stripes (objects assigned by id hash).
+//!   Update ingestion takes exactly one shard's write lock; queries take
+//!   shard read locks one at a time — no operation ever holds a global lock.
+//! * Each shard maintains a [`mbdr_spatial::MovingIndex`] over its objects,
+//!   updated incrementally on every accepted update, so
+//!   [`LocationService::objects_in_rect`] (range query) and
+//!   [`LocationService::nearest_objects`] (k-nearest, "nearest taxi") are
+//!   **index-pruned** instead of full scans — while returning exactly what a
+//!   full scan over every tracker would.
 //! * position queries ([`LocationService::position_of`]) extrapolate with the
 //!   object's own prediction function, exactly like the per-object server in
-//!   the update protocol;
-//! * spatial queries answer the motivating use cases: [`LocationService::objects_in_rect`]
-//!   (range query), [`LocationService::nearest_objects`] (k-nearest-neighbour,
-//!   "nearest taxi"), and [`zones::ZoneWatcher`] (enter/leave subscriptions).
+//!   the update protocol; [`zones::ZoneWatcher`] adds enter/leave
+//!   subscriptions on top of the range query.
+//!
+//! ## The staleness-aware index invariant
+//!
+//! The spatial index stores, per object, a bounding box plus a validity
+//! deadline with the invariant: *for every query time `t` up to the deadline,
+//! the object's predicted position `pred(s, t)` lies inside the box*. It
+//! holds because every prediction function is speed-bounded —
+//! `|pred(s, t) − s.position| ≤ s.speed · (t − s.timestamp)` (linear and
+//! map-based predictions travel at the reported speed; arc predictions follow
+//! a circle at it; static ones do not move) — so a box centred on the last
+//! reported position with radius `speed · (deadline − s.timestamp) + slack`
+//! is conservative, where the [`ServiceConfig::slack_m`] growth (set it to
+//! the protocols' requested accuracy `u_s`) additionally absorbs prediction
+//! functions that deviate from the constant-speed model by up to the accuracy
+//! bound. Between updates the box simply stands; a query arriving *past* the
+//! deadline lazily re-grows the box (still anchored at the reported
+//! position), so the entry of a silent mover widens over time — matching the
+//! server's genuine uncertainty — while frequently-updating objects keep
+//! tight boxes. Conservative boxes can only ever add *candidates*, which the
+//! exact per-object prediction then filters, so query answers are bit-for-bit
+//! identical to the pre-shard full-scan implementation.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod config;
 pub mod service;
+mod shard;
 pub mod zones;
 
+pub use config::ServiceConfig;
 pub use service::{LocationService, ObjectId, PositionReport};
 pub use zones::{ZoneEvent, ZoneEventKind, ZoneWatcher};

@@ -1,10 +1,18 @@
 //! The multi-object location store and its queries.
+//!
+//! The store is partitioned into [`ServiceConfig::shards`] lock stripes, each
+//! holding the [`mbdr_core::ServerTracker`]s of the objects hashed to it plus
+//! a [`mbdr_spatial::MovingIndex`] over conservative bounding boxes of their
+//! predicted positions (see [`crate::shard`] for the index invariant). Update
+//! ingestion touches exactly one shard; range and nearest queries visit the
+//! shards' indexes and never hold a global lock, and their answers are
+//! identical to what a full scan over every tracker would return.
 
-use mbdr_core::{Predictor, ServerTracker, Update};
+use crate::config::ServiceConfig;
+use crate::shard::Shard;
+use mbdr_core::{Predictor, Update};
 use mbdr_geo::{Aabb, Point};
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Identifier of a tracked mobile object.
@@ -22,9 +30,10 @@ pub struct PositionReport {
     pub information_age: f64,
 }
 
-/// A thread-safe location service tracking many objects.
+/// A thread-safe, lock-striped location service tracking many objects.
 pub struct LocationService {
-    objects: RwLock<HashMap<ObjectId, ServerTracker>>,
+    config: ServiceConfig,
+    shards: Vec<Shard>,
 }
 
 impl Default for LocationService {
@@ -34,97 +43,136 @@ impl Default for LocationService {
 }
 
 impl LocationService {
-    /// Creates an empty service.
+    /// Creates an empty service with the default configuration.
     pub fn new() -> Self {
-        LocationService { objects: RwLock::new(HashMap::new()) }
+        LocationService::with_config(ServiceConfig::default())
+    }
+
+    /// Creates an empty service with the given shard count and index tuning.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let config = config.validated();
+        let shards = (0..config.shards).map(|_| Shard::new(config)).collect();
+        LocationService { config, shards }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard responsible for `object` (Fibonacci multiplicative hash so
+    /// sequential fleet ids spread evenly over the stripes).
+    fn shard_of(&self, object: ObjectId) -> &Shard {
+        let h = (object.0 ^ (object.0 >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
     /// Registers an object with the prediction function its update protocol
     /// uses (source and server must share the predictor — see the protocol
     /// trait's `predictor()`).
     pub fn register(&self, object: ObjectId, predictor: Arc<dyn Predictor>) {
-        self.objects.write().insert(object, ServerTracker::new(predictor));
+        self.shard_of(object).write(|s| s.register(object, predictor));
     }
 
-    /// Removes an object from the service.
-    pub fn deregister(&self, object: ObjectId) {
-        self.objects.write().remove(&object);
+    /// Removes an object from the service (store and spatial index). Returns
+    /// `true` if the object was registered.
+    pub fn deregister(&self, object: ObjectId) -> bool {
+        self.shard_of(object).write(|s| s.deregister(object))
     }
 
     /// Number of registered objects.
     pub fn object_count(&self) -> usize {
-        self.objects.read().len()
+        self.shards.iter().map(|s| s.read(|st| st.object_count())).sum()
     }
 
-    /// Ingests an update message for an object. Returns `false` if the object
-    /// is not registered.
+    /// Number of objects currently carried in the spatial indexes (objects
+    /// become indexed with their first accepted update).
+    pub fn indexed_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read(|st| st.indexed_count())).sum()
+    }
+
+    /// Ingests an update message for an object, re-anchoring its spatial-index
+    /// entry. Returns `false` if the object is not registered.
     pub fn apply_update(&self, object: ObjectId, update: &Update) -> bool {
-        let mut objects = self.objects.write();
-        match objects.get_mut(&object) {
-            Some(tracker) => {
-                tracker.apply(update);
-                true
-            }
-            None => false,
-        }
+        self.shard_of(object).write(|s| s.apply_update(object, update))
     }
 
     /// The predicted position of one object at time `t`, or `None` if the
     /// object is unknown or has not reported yet.
     pub fn position_of(&self, object: ObjectId, t: f64) -> Option<PositionReport> {
-        let objects = self.objects.read();
-        let tracker = objects.get(&object)?;
-        let position = tracker.position_at(t)?;
-        let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
-        Some(PositionReport { object, position, information_age: age })
+        self.shard_of(object).read(|s| s.report_for(object, t))
     }
 
     /// All objects whose predicted position at time `t` lies inside `area`
     /// (the "all users inside a department" query). Results are sorted by
     /// object id for determinism.
+    ///
+    /// Index-pruned: only objects whose conservative index box intersects
+    /// `area` are examined, never the whole store.
     pub fn objects_in_rect(&self, area: &Aabb, t: f64) -> Vec<PositionReport> {
-        let objects = self.objects.read();
-        let mut out: Vec<PositionReport> = objects
-            .iter()
-            .filter_map(|(&id, tracker)| {
-                let position = tracker.position_at(t)?;
-                if area.contains(&position) {
-                    let age =
-                        tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
-                    Some(PositionReport { object: id, position, information_age: age })
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.read_fresh(t, |s| s.collect_in_rect(area, t, &mut out));
+        }
         out.sort_by_key(|r| r.object);
         out
     }
 
     /// The `k` objects whose predicted positions at time `t` are nearest to
-    /// `from` (the "nearest taxi" query), nearest first.
+    /// `from` (the "nearest taxi" query), nearest first (ties broken by id).
+    ///
+    /// Index-pruned: an expanding ring search over the shard indexes — the
+    /// ring doubles until the k-th candidate's exact distance is inside it
+    /// (or the ring provably covers every object), so dense fleets never get
+    /// fully scanned. The candidate set is cut down with a partial selection
+    /// (`select_nth_unstable_by`) instead of a full sort.
     pub fn nearest_objects(&self, from: &Point, t: f64, k: usize) -> Vec<PositionReport> {
-        let objects = self.objects.read();
-        let mut out: Vec<(f64, PositionReport)> = objects
-            .iter()
-            .filter_map(|(&id, tracker)| {
-                let position = tracker.position_at(t)?;
-                let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
-                Some((
-                    from.distance(&position),
-                    PositionReport { object: id, position, information_age: age },
-                ))
-            })
-            .collect();
-        out.sort_by(|a, b| {
+        if k == 0 {
+            return Vec::new();
+        }
+        let cmp = |a: &(f64, PositionReport), b: &(f64, PositionReport)| {
             a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object))
-        });
-        out.into_iter().take(k).map(|(_, r)| r).collect()
+        };
+        let mut radius = self.config.cell_size_m;
+        let mut candidates: Vec<(f64, PositionReport)> = Vec::new();
+        loop {
+            candidates.clear();
+            // The termination extent is recomputed inside the same lock hold
+            // as each shard's candidate collection, so lazily re-grown boxes
+            // and concurrently moved objects are covered: when the ring
+            // reaches a shard's extent, that shard was provably collected in
+            // full at its own read time.
+            let mut extent = self.config.cell_size_m;
+            for shard in &self.shards {
+                shard.read_fresh(t, |s| {
+                    s.collect_near(from, radius, t, &mut candidates);
+                    extent = extent.max(s.extent_radius(from));
+                });
+            }
+            // Objects outside the ring are strictly farther than `radius`, so
+            // once the k-th candidate distance fits inside the ring the true
+            // k nearest are all among the candidates.
+            let kth = (candidates.len() >= k).then(|| {
+                candidates.select_nth_unstable_by(k - 1, cmp);
+                candidates[k - 1].0
+            });
+            if kth.is_some_and(|d| d <= radius) || radius >= extent {
+                let take = k.min(candidates.len());
+                candidates[..take].sort_by(cmp);
+                return candidates[..take].iter().map(|(_, r)| *r).collect();
+            }
+            radius = (radius * 2.0).max(kth.unwrap_or(0.0)).min(extent);
+        }
     }
 
     /// Total number of updates ingested across all objects.
     pub fn total_updates(&self) -> u64 {
-        self.objects.read().values().map(|t| t.updates_applied()).sum()
+        self.shards.iter().map(|s| s.read(|st| st.total_updates())).sum()
     }
 }
 
@@ -157,17 +205,21 @@ mod tests {
         let s = LocationService::new();
         s.register(ObjectId(7), Arc::new(LinearPredictor));
         assert_eq!(s.object_count(), 1);
+        assert_eq!(s.indexed_count(), 0, "not indexed before the first update");
         assert!(s.position_of(ObjectId(7), 5.0).is_none(), "no update yet");
         assert!(s.apply_update(
             ObjectId(7),
             &update(0, 0.0, 0.0, 0.0, 10.0, std::f64::consts::FRAC_PI_2)
         ));
+        assert_eq!(s.indexed_count(), 1);
         let report = s.position_of(ObjectId(7), 5.0).unwrap();
         assert!((report.position.x - 50.0).abs() < 1e-9, "linear prediction applies");
         assert!((report.information_age - 5.0).abs() < 1e-9);
         assert_eq!(s.total_updates(), 1);
-        s.deregister(ObjectId(7));
+        assert!(s.deregister(ObjectId(7)));
+        assert!(!s.deregister(ObjectId(7)), "second deregister is a no-op");
         assert_eq!(s.object_count(), 0);
+        assert_eq!(s.indexed_count(), 0, "deregistration removes the index entry");
     }
 
     #[test]
@@ -195,6 +247,77 @@ mod tests {
         assert_eq!(nearest[1].object, ObjectId(0));
         // k larger than the fleet returns everyone.
         assert_eq!(s.nearest_objects(&Point::ORIGIN, 1.0, 10).len(), 3);
+        // k = 0 is empty.
+        assert!(s.nearest_objects(&Point::ORIGIN, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn every_shard_count_answers_queries_identically() {
+        for shards in [1, 3, 16, 64] {
+            let s = LocationService::with_config(ServiceConfig::with_shards(shards));
+            assert_eq!(s.shard_count(), shards);
+            for i in 0..40u64 {
+                s.register(ObjectId(i), Arc::new(StaticPredictor));
+                s.apply_update(
+                    ObjectId(i),
+                    &update(0, 0.0, (i % 7) as f64 * 100.0, (i / 7) as f64 * 100.0, 0.0, 0.0),
+                );
+            }
+            let area = Aabb::new(Point::new(-1.0, -1.0), Point::new(250.0, 250.0));
+            let inside = s.objects_in_rect(&area, 10.0);
+            assert_eq!(inside.len(), 9, "shards={shards}");
+            assert!(inside.windows(2).all(|w| w[0].object < w[1].object), "sorted by id");
+            let nearest = s.nearest_objects(&Point::new(310.0, 210.0), 10.0, 5);
+            assert_eq!(nearest.len(), 5);
+            assert_eq!(nearest[0].object, ObjectId(17), "(300, 200) is closest");
+        }
+    }
+
+    #[test]
+    fn queries_far_past_the_staleness_horizon_still_find_moving_objects() {
+        let config = ServiceConfig { horizon_s: 5.0, slack_m: 10.0, ..ServiceConfig::default() };
+        let s = LocationService::with_config(config);
+        s.register(ObjectId(1), Arc::new(LinearPredictor));
+        // Heading east at 10 m/s from the origin; index box initially covers
+        // only ~5 s * 10 m/s of travel.
+        s.apply_update(ObjectId(1), &update(0, 0.0, 0.0, 0.0, 10.0, std::f64::consts::FRAC_PI_2));
+        // 500 s later the prediction is at x = 5000, far outside the original
+        // box — the query must lazily re-grow the entry and still find it.
+        let area = Aabb::around(Point::new(5_000.0, 0.0), 50.0);
+        let inside = s.objects_in_rect(&area, 500.0);
+        assert_eq!(inside.len(), 1);
+        assert_eq!(inside[0].object, ObjectId(1));
+        let nearest = s.nearest_objects(&Point::new(5_100.0, 0.0), 500.0, 1);
+        assert_eq!(nearest.len(), 1);
+        assert!((nearest[0].position.x - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_queries_prune_against_the_index() {
+        // With everything clustered at the origin, a far-away rect query must
+        // not visit any tracker — observable through a predictor that counts
+        // its calls.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        struct CountingPredictor;
+        impl Predictor for CountingPredictor {
+            fn predict(&self, reported: &ObjectState, _t: f64) -> Point {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                reported.position
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+        let s = LocationService::new();
+        for i in 0..32u64 {
+            s.register(ObjectId(i), Arc::new(CountingPredictor));
+            s.apply_update(ObjectId(i), &update(0, 0.0, i as f64, 0.0, 0.0, 0.0));
+        }
+        CALLS.store(0, Ordering::Relaxed);
+        let far = Aabb::around(Point::new(1.0e6, 1.0e6), 100.0);
+        assert!(s.objects_in_rect(&far, 1.0).is_empty());
+        assert_eq!(CALLS.load(Ordering::Relaxed), 0, "no tracker examined for a far-away rect");
     }
 
     #[test]

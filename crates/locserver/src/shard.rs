@@ -1,0 +1,298 @@
+//! One lock stripe of the sharded location store.
+//!
+//! A shard owns the trackers of the objects hashed to it plus a
+//! [`MovingIndex`] over conservative bounding boxes of their predicted
+//! positions. The index invariant (see the crate docs for the full argument):
+//!
+//! > For every object with reported state `s` and index entry `(bbox,
+//! > valid_until)`, and for every query time `t ≤ valid_until`:
+//! > `pred(s, t) ∈ bbox`.
+//!
+//! The invariant holds because every prediction function in `mbdr-core` is
+//! speed-bounded — `|pred(s, t) − s.position| ≤ s.speed · (t − s.timestamp)`
+//! — so a box centred on the reported position with radius
+//! `speed · (valid_until − s.timestamp) + slack` contains every prediction up
+//! to `valid_until` (and, since predictions clamp to the reported position
+//! for `t < s.timestamp`, every earlier one too). Stationary objects get an
+//! infinite validity. When a query arrives past an entry's `valid_until`, the
+//! entry is *lazily re-grown*: `valid_until` is pushed past the query time
+//! and the radius recomputed, still anchored at the reported position — the
+//! box of a silent mover keeps growing, which is exactly the server's real
+//! uncertainty about it.
+
+use crate::config::ServiceConfig;
+use crate::service::{ObjectId, PositionReport};
+use mbdr_core::{Predictor, ServerTracker, Update};
+use mbdr_geo::{Aabb, Point};
+use mbdr_spatial::{MovingIndex, SpatialIndex};
+use parking_lot::RwLock;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// An object tracked by one shard.
+struct Tracked {
+    tracker: ServerTracker,
+    /// Bumped every time the index entry is (re)written; lets the expiry heap
+    /// use lazy deletion instead of removals.
+    generation: u64,
+    /// Query times up to this instant are covered by the index entry.
+    valid_until: f64,
+}
+
+/// A pending index-entry expiry (min-heap by time via `Reverse`).
+#[derive(Debug, PartialEq)]
+struct Expiry {
+    at: f64,
+    object: ObjectId,
+    generation: u64,
+}
+
+impl Eq for Expiry {}
+
+impl Ord for Expiry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then(self.object.cmp(&other.object))
+            .then(self.generation.cmp(&other.generation))
+    }
+}
+
+impl PartialOrd for Expiry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Mutable state of one shard, guarded by the shard's lock.
+pub(crate) struct ShardState {
+    config: ServiceConfig,
+    trackers: HashMap<ObjectId, Tracked>,
+    index: MovingIndex<ObjectId>,
+    expiries: BinaryHeap<Reverse<Expiry>>,
+}
+
+impl ShardState {
+    fn new(config: ServiceConfig) -> Self {
+        ShardState {
+            config,
+            trackers: HashMap::new(),
+            index: MovingIndex::new(config.cell_size_m),
+            expiries: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn object_count(&self) -> usize {
+        self.trackers.len()
+    }
+
+    pub(crate) fn indexed_count(&self) -> usize {
+        self.index.len()
+    }
+
+    pub(crate) fn total_updates(&self) -> u64 {
+        self.trackers.values().map(|t| t.tracker.updates_applied()).sum()
+    }
+
+    pub(crate) fn register(&mut self, object: ObjectId, predictor: Arc<dyn Predictor>) {
+        self.index.remove(&object);
+        self.trackers.insert(
+            object,
+            Tracked {
+                tracker: ServerTracker::new(predictor),
+                generation: 0,
+                valid_until: f64::INFINITY,
+            },
+        );
+    }
+
+    pub(crate) fn deregister(&mut self, object: ObjectId) -> bool {
+        self.index.remove(&object);
+        let removed = self.trackers.remove(&object).is_some();
+        self.prune_superseded_expiries();
+        removed
+    }
+
+    pub(crate) fn apply_update(&mut self, object: ObjectId, update: &Update) -> bool {
+        let Some(tracked) = self.trackers.get_mut(&object) else {
+            return false;
+        };
+        let before = tracked.tracker.updates_applied();
+        tracked.tracker.apply(update);
+        if tracked.tracker.updates_applied() != before {
+            // The update was accepted (not a stale sequence number): re-anchor
+            // the index entry on the new reported state.
+            Self::reindex(&self.config, &mut self.index, &mut self.expiries, object, tracked, None);
+        }
+        self.prune_superseded_expiries();
+        true
+    }
+
+    /// Drops lazily-deleted entries from the top of the expiry heap (entries
+    /// whose object was re-anchored or deregistered since they were pushed).
+    /// Called on the ingest path, which already holds the write lock, so an
+    /// ingest-heavy but rarely-queried service does not accumulate one heap
+    /// entry per update: for a frequently-updating object the superseded
+    /// entries are exactly the earliest-expiring ones and get popped here.
+    fn prune_superseded_expiries(&mut self) {
+        while let Some(Reverse(top)) = self.expiries.peek() {
+            let superseded = match self.trackers.get(&top.object) {
+                Some(tracked) => tracked.generation != top.generation,
+                None => true,
+            };
+            if !superseded {
+                break;
+            }
+            self.expiries.pop();
+        }
+    }
+
+    /// (Re)writes `object`'s index entry from its last reported state. With
+    /// `extend_to = Some(t)` the validity is pushed past `t` (lazy re-grow on
+    /// a stale query); otherwise it starts one horizon after the report.
+    fn reindex(
+        config: &ServiceConfig,
+        index: &mut MovingIndex<ObjectId>,
+        expiries: &mut BinaryHeap<Reverse<Expiry>>,
+        object: ObjectId,
+        tracked: &mut Tracked,
+        extend_to: Option<f64>,
+    ) {
+        let Some(state) = tracked.tracker.last_state() else {
+            return;
+        };
+        let speed = state.speed.abs();
+        let (valid_until, radius) = if speed < 1e-9 {
+            (f64::INFINITY, config.slack_m)
+        } else {
+            let valid_until = extend_to.unwrap_or(state.timestamp) + config.horizon_s;
+            (valid_until, speed * (valid_until - state.timestamp) + config.slack_m)
+        };
+        tracked.generation += 1;
+        tracked.valid_until = valid_until;
+        index.insert(object, Aabb::around(state.position, radius));
+        if valid_until.is_finite() {
+            expiries.push(Reverse(Expiry {
+                at: valid_until,
+                object,
+                generation: tracked.generation,
+            }));
+        }
+    }
+
+    /// The earliest instant at which some index entry may expire. Lazily
+    /// deleted heap entries can make this conservative (too early), which only
+    /// costs an unnecessary write-lock refresh.
+    pub(crate) fn next_expiry(&self) -> f64 {
+        self.expiries.peek().map(|Reverse(e)| e.at).unwrap_or(f64::INFINITY)
+    }
+
+    /// Re-grows every index entry whose validity ended at or before `t`.
+    pub(crate) fn refresh_expired(&mut self, t: f64) {
+        while let Some(Reverse(top)) = self.expiries.peek() {
+            if top.at > t {
+                break;
+            }
+            let Reverse(expiry) = self.expiries.pop().expect("peeked");
+            let Some(tracked) = self.trackers.get_mut(&expiry.object) else {
+                continue; // deregistered since the entry was pushed
+            };
+            if tracked.generation != expiry.generation {
+                continue; // superseded by a newer update or refresh
+            }
+            Self::reindex(
+                &self.config,
+                &mut self.index,
+                &mut self.expiries,
+                expiry.object,
+                tracked,
+                Some(t),
+            );
+        }
+    }
+
+    /// The position report for one object at time `t`.
+    pub(crate) fn report_for(&self, object: ObjectId, t: f64) -> Option<PositionReport> {
+        let tracked = self.trackers.get(&object)?;
+        report(object, &tracked.tracker, t)
+    }
+
+    /// Index-pruned range query: appends every object whose predicted position
+    /// at `t` lies inside `area`. Callers must have refreshed expiries ≥ `t`.
+    pub(crate) fn collect_in_rect(&self, area: &Aabb, t: f64, out: &mut Vec<PositionReport>) {
+        for entry in self.index.query_rect(area) {
+            if let Some(r) = self.report_for(entry.item, t) {
+                if area.contains(&r.position) {
+                    out.push(r);
+                }
+            }
+        }
+    }
+
+    /// Index-pruned nearest-candidate collection: appends `(distance, report)`
+    /// for every object whose index box intersects the square of half-width
+    /// `radius` around `from`. Conservative: every object whose *exact*
+    /// predicted position is within `radius` of `from` is included.
+    pub(crate) fn collect_near(
+        &self,
+        from: &Point,
+        radius: f64,
+        t: f64,
+        out: &mut Vec<(f64, PositionReport)>,
+    ) {
+        for entry in self.index.query_rect(&Aabb::around(*from, radius)) {
+            if let Some(r) = self.report_for(entry.item, t) {
+                out.push((from.distance(&r.position), r));
+            }
+        }
+    }
+
+    /// A radius from `from` guaranteed to cover every indexed entry.
+    pub(crate) fn extent_radius(&self, from: &Point) -> f64 {
+        self.index.extent_radius(from)
+    }
+}
+
+/// Builds the query answer for one tracker (shared by every query path so the
+/// information-age semantics stay identical to the pre-shard implementation).
+fn report(object: ObjectId, tracker: &ServerTracker, t: f64) -> Option<PositionReport> {
+    let position = tracker.position_at(t)?;
+    let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+    Some(PositionReport { object, position, information_age: age })
+}
+
+/// One lock stripe: a shard's state behind its own reader–writer lock.
+pub(crate) struct Shard {
+    state: RwLock<ShardState>,
+}
+
+impl Shard {
+    pub(crate) fn new(config: ServiceConfig) -> Self {
+        Shard { state: RwLock::new(ShardState::new(config)) }
+    }
+
+    /// Shared access for queries at time `t`, lazily re-growing expired index
+    /// entries first (which needs the write lock, taken only when required).
+    pub(crate) fn read_fresh<R>(&self, t: f64, f: impl FnOnce(&ShardState) -> R) -> R {
+        {
+            let state = self.state.read();
+            if state.next_expiry() > t {
+                return f(&state);
+            }
+        }
+        let mut state = self.state.write();
+        state.refresh_expired(t);
+        f(&state)
+    }
+
+    /// Shared access for time-independent reads (counts, sums).
+    pub(crate) fn read<R>(&self, f: impl FnOnce(&ShardState) -> R) -> R {
+        f(&self.state.read())
+    }
+
+    /// Exclusive access for mutations.
+    pub(crate) fn write<R>(&self, f: impl FnOnce(&mut ShardState) -> R) -> R {
+        f(&mut self.state.write())
+    }
+}

@@ -60,9 +60,42 @@ impl ZoneWatcher {
         self.zones.len()
     }
 
+    /// Immediately removes `object` from every zone's membership set,
+    /// returning one `Left` event per zone it was inside.
+    ///
+    /// Call this when an object is deregistered from the service: `evaluate`
+    /// does emit `Left` for objects that disappeared, but only at the next
+    /// evaluation — and if the object re-registers and re-enters the zone
+    /// before then, the disappearance is invisible to `evaluate` and the
+    /// membership would silently carry over. Purging on deregistration closes
+    /// that window (and guarantees the `inside` sets never retain departed
+    /// objects).
+    pub fn purge_object(&mut self, object: ObjectId) -> Vec<ZoneEvent> {
+        let mut events = Vec::new();
+        for (index, (name, _)) in self.zones.iter().enumerate() {
+            if let Some(inside) = self.inside.get_mut(&index) {
+                if inside.remove(&object) {
+                    events.push(ZoneEvent {
+                        zone: name.clone(),
+                        object,
+                        kind: ZoneEventKind::Left,
+                    });
+                }
+            }
+        }
+        events
+    }
+
     /// Evaluates all zones at time `t` and returns the transitions since the
     /// previous evaluation. The first evaluation reports an `Entered` event
     /// for every object already inside a zone.
+    ///
+    /// An object that disappeared from the service (deregistered, or never
+    /// reported again) is reported as `Left` because it no longer shows up in
+    /// the range query — so zone membership cannot leak past an evaluation.
+    /// For the stronger guarantee (a deregistration immediately followed by a
+    /// re-registration inside the zone still produces `Left` + `Entered`),
+    /// call [`ZoneWatcher::purge_object`] at deregistration time.
     pub fn evaluate(&mut self, service: &LocationService, t: f64) -> Vec<ZoneEvent> {
         let mut events = Vec::new();
         for (index, (name, area)) in self.zones.iter().enumerate() {
@@ -132,6 +165,58 @@ mod tests {
         let events = watcher.evaluate(&service, 25.0);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, ZoneEventKind::Left);
+    }
+
+    #[test]
+    fn deregistered_object_emits_left_and_does_not_linger() {
+        // Regression test: an object that disappears from the service must
+        // not stay in a zone's `inside` set without ever emitting `Left`.
+        let service = moving_east_service();
+        let mut watcher = ZoneWatcher::new();
+        watcher.add_zone("mall", Aabb::new(Point::new(100.0, -50.0), Point::new(200.0, 50.0)));
+        // t = 12 s: inside → Entered.
+        let events = watcher.evaluate(&service, 12.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ZoneEventKind::Entered);
+        // The object vanishes from the service entirely.
+        assert!(service.deregister(ObjectId(1)));
+        // Still at a time where it *would* be inside if it existed: the next
+        // evaluation must emit Left, and the membership set must be empty.
+        let events = watcher.evaluate(&service, 13.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ZoneEventKind::Left);
+        assert_eq!(events[0].object, ObjectId(1));
+        assert!(watcher.evaluate(&service, 14.0).is_empty(), "no repeated Left");
+    }
+
+    #[test]
+    fn purge_emits_left_immediately_and_enables_reentry_detection() {
+        let service = moving_east_service();
+        let mut watcher = ZoneWatcher::new();
+        watcher.add_zone("mall", Aabb::new(Point::new(100.0, -50.0), Point::new(200.0, 50.0)));
+        assert_eq!(watcher.evaluate(&service, 12.0).len(), 1, "Entered");
+        // Deregister + purge: Left is reported synchronously, without waiting
+        // for the next evaluation.
+        service.deregister(ObjectId(1));
+        let events = watcher.purge_object(ObjectId(1));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ZoneEventKind::Left);
+        assert!(watcher.purge_object(ObjectId(1)).is_empty(), "purge is idempotent");
+        // The object re-registers and reports from inside the zone: without
+        // the purge this would be invisible (membership carried over); with it
+        // the watcher reports a fresh Entered.
+        service.register(ObjectId(1), Arc::new(LinearPredictor));
+        service.apply_update(
+            ObjectId(1),
+            &Update {
+                sequence: 0,
+                state: ObjectState::basic(Point::new(150.0, 0.0), 0.0, 0.0, 13.0),
+                kind: UpdateKind::Initial,
+            },
+        );
+        let events = watcher.evaluate(&service, 13.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, ZoneEventKind::Entered);
     }
 
     #[test]

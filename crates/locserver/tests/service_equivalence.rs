@@ -1,0 +1,145 @@
+//! The index-refactor contract: the sharded, spatially-indexed service must
+//! return **exactly** the same query answers as the seed implementation — a
+//! full scan over every tracker under one global lock. The reference below is
+//! that full scan, re-implemented verbatim over a mirror of the same
+//! `ServerTracker`s; the property drives both through random registrations,
+//! updates, deregistrations and queries (including query times far past the
+//! index staleness horizon, which exercise the lazy re-grow path).
+
+use mbdr_core::{
+    ArcPredictor, LinearPredictor, ObjectState, Predictor, ServerTracker, StaticPredictor, Update,
+    UpdateKind,
+};
+use mbdr_geo::{Aabb, Point};
+use mbdr_locserver::{LocationService, ObjectId, PositionReport, ServiceConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn predictor_for(index: usize) -> Arc<dyn Predictor> {
+    match index % 3 {
+        0 => Arc::new(StaticPredictor),
+        1 => Arc::new(LinearPredictor),
+        _ => Arc::new(ArcPredictor),
+    }
+}
+
+/// The seed implementation's range query, verbatim, over the mirror store.
+fn reference_in_rect(
+    mirror: &BTreeMap<ObjectId, ServerTracker>,
+    area: &Aabb,
+    t: f64,
+) -> Vec<PositionReport> {
+    let mut out: Vec<PositionReport> = mirror
+        .iter()
+        .filter_map(|(&id, tracker)| {
+            let position = tracker.position_at(t)?;
+            if area.contains(&position) {
+                let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+                Some(PositionReport { object: id, position, information_age: age })
+            } else {
+                None
+            }
+        })
+        .collect();
+    out.sort_by_key(|r| r.object);
+    out
+}
+
+/// The seed implementation's k-nearest query, verbatim, over the mirror.
+fn reference_nearest(
+    mirror: &BTreeMap<ObjectId, ServerTracker>,
+    from: &Point,
+    t: f64,
+    k: usize,
+) -> Vec<PositionReport> {
+    let mut out: Vec<(f64, PositionReport)> = mirror
+        .iter()
+        .filter_map(|(&id, tracker)| {
+            let position = tracker.position_at(t)?;
+            let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+            Some((
+                from.distance(&position),
+                PositionReport { object: id, position, information_age: age },
+            ))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object)));
+    out.into_iter().take(k).map(|(_, r)| r).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_service_matches_the_full_scan_reference(
+        object_count in 2usize..20,
+        shards in 1usize..9,
+        cell in 50.0..600.0f64,
+        horizon in 2.0..40.0f64,
+        updates in proptest::collection::vec(
+            (0usize..20, -2_000.0..2_000.0f64, -2_000.0..2_000.0f64,
+             0.0..40.0f64, 0.0..std::f64::consts::TAU, -0.1..0.1f64, 0.0..200.0f64),
+            1..120
+        ),
+        deregister_stride in 2usize..7,
+        queries in proptest::collection::vec(
+            (-2_500.0..2_500.0f64, -2_500.0..2_500.0f64, 10.0..1_500.0f64, 0.0..600.0f64),
+            1..24
+        ),
+    ) {
+        let config =
+            ServiceConfig { shards, cell_size_m: cell, horizon_s: horizon, slack_m: 25.0 };
+        let service = LocationService::with_config(config);
+        let mut mirror: BTreeMap<ObjectId, ServerTracker> = BTreeMap::new();
+
+        for i in 0..object_count {
+            let id = ObjectId(i as u64);
+            let predictor = predictor_for(i);
+            service.register(id, Arc::clone(&predictor));
+            mirror.insert(id, ServerTracker::new(predictor));
+        }
+
+        // Random updates (sequence numbers per object in generation order, so
+        // both sides see the same accept/reject decisions).
+        let mut sequences = vec![0u64; object_count];
+        for &(raw_index, x, y, speed, heading, turn_rate, t) in updates.iter() {
+            let index = raw_index % object_count;
+            let id = ObjectId(index as u64);
+            let mut state = ObjectState::basic(Point::new(x, y), speed, heading, t);
+            state.turn_rate = turn_rate;
+            let update = Update {
+                sequence: sequences[index],
+                state,
+                kind: UpdateKind::DeviationBound,
+            };
+            sequences[index] += 1;
+            prop_assert!(service.apply_update(id, &update));
+            mirror.get_mut(&id).unwrap().apply(&update);
+        }
+
+        // Deregister a deterministic subset on both sides.
+        for i in (0..object_count).step_by(deregister_stride) {
+            let id = ObjectId(i as u64);
+            prop_assert!(service.deregister(id));
+            mirror.remove(&id);
+        }
+
+        for (qi, &(x, y, extent, t)) in queries.iter().enumerate() {
+            let area = Aabb::around(Point::new(x, y), extent);
+            prop_assert_eq!(
+                service.objects_in_rect(&area, t),
+                reference_in_rect(&mirror, &area, t),
+                "rect query {} diverged (area {:?}, t {})", qi, area, t
+            );
+            let from = Point::new(x, y);
+            let k = (extent as usize % (object_count + 2)).max(1);
+            prop_assert_eq!(
+                service.nearest_objects(&from, t, k),
+                reference_nearest(&mirror, &from, t, k),
+                "nearest query {} diverged (from {:?}, t {}, k {}, config {:?})",
+                qi, from, t, k, config
+            );
+        }
+    }
+}

@@ -57,13 +57,19 @@ pub struct FleetResult {
     pub mean_updates_per_hour: f64,
 }
 
-/// Builds one object's scenario data on the shared city map.
-fn object_scenario(base: &ScenarioData, object_index: usize, config: &FleetConfig) -> ScenarioData {
-    let seed = config.seed ^ (object_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// Builds one object's scenario data on the shared city map (also the per-
+/// vehicle trace generator of [`crate::service_workload`]).
+pub(crate) fn object_scenario(
+    base: &ScenarioData,
+    object_index: usize,
+    fleet_seed: u64,
+    trip_length_m: f64,
+) -> ScenarioData {
+    let seed = fleet_seed ^ (object_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let network = &base.network;
     let start = NodeId((seed % network.node_count() as u64) as u32);
     let profile = DriverProfile::city_car();
-    let route = plan_wandering_route(network, start, config.trip_length_m, seed);
+    let route = plan_wandering_route(network, start, trip_length_m, seed);
     let trip = trip_from_route(network, route, &profile, seed ^ 0x7);
     let truth = simulate_motion(
         &trip.path,
@@ -105,7 +111,8 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
             scope.spawn(move |_| {
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let object_index = worker_index * chunk + offset;
-                    let data = object_scenario(base, object_index, config);
+                    let data =
+                        object_scenario(base, object_index, config.seed, config.trip_length_m);
                     // Each object gets its own protocol instance but shares the
                     // map and spatial index through the context.
                     let protocol = config.protocol.build(base_ctx, config.requested_accuracy);

@@ -16,6 +16,11 @@
 //!   threads, producing the data behind Figures 7–10.
 //! * [`fleet`] — many objects tracked concurrently against one shared map
 //!   (the location-service workload of the paper's introduction).
+//! * [`service_workload`] — the whole fleet replayed against one shared,
+//!   sharded [`mbdr_locserver::LocationService`]: concurrent producer threads
+//!   ingesting updates while query threads issue the motivating range /
+//!   nearest / zone queries, measuring ingest throughput, query throughput
+//!   and query-observed accuracy.
 //! * [`report`] — plain-text table/CSV rendering of the results.
 
 #![warn(missing_docs)]
@@ -27,6 +32,7 @@ pub mod metrics;
 pub mod protocols;
 pub mod report;
 pub mod runner;
+pub mod service_workload;
 pub mod sweep;
 
 pub use channel::MessageChannel;
@@ -35,4 +41,5 @@ pub use metrics::{DeviationStats, RunMetrics};
 pub use protocols::ProtocolKind;
 pub use report::{render_csv, render_json, render_table};
 pub use runner::{run_protocol, RunConfig};
+pub use service_workload::{run_service_workload, QueryMix, WorkloadConfig, WorkloadReport};
 pub use sweep::{sweep_scenario, SweepPoint, SweepResult};

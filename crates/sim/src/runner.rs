@@ -129,6 +129,84 @@ mod tests {
     }
 
     #[test]
+    fn delayed_channel_delivers_in_send_order_and_server_applies_every_update() {
+        // The non-idealised setting: every update crosses a 3 s uplink. The
+        // channel must hand updates to the server in exactly the order they
+        // were sent, and by the end of the trace the server must have applied
+        // every update that had time to arrive (in-flight leftovers are the
+        // only permissible gap).
+        use crate::channel::MessageChannel;
+        use mbdr_core::ServerTracker;
+
+        let data = quick_city();
+        let ctx = ProtocolContext::for_scenario(&data);
+        let outcome = run_protocol(
+            &data.trace,
+            ProtocolKind::Linear.build(&ctx, 100.0),
+            RunConfig { channel_latency: 3.0 },
+        );
+        // Replay the same updates through a fresh channel and tracker,
+        // checking ordering at every delivery instant.
+        let mut channel = MessageChannel::new(3.0);
+        let mut server = ServerTracker::new(std::sync::Arc::new(mbdr_core::LinearPredictor));
+        let mut last_sequence = None;
+        let end = data.trace.fixes.last().unwrap().t;
+        for update in &outcome.updates {
+            channel.send(update.state.timestamp, *update);
+        }
+        for delivered in channel.deliver_until(end) {
+            assert!(last_sequence < Some(delivered.sequence), "strictly ascending sequences");
+            last_sequence = Some(delivered.sequence);
+            server.apply(&delivered);
+        }
+        let undelivered = channel.in_flight() as u64;
+        assert_eq!(
+            server.updates_applied() + undelivered,
+            outcome.metrics.updates,
+            "everything sent is either applied or still in flight at trace end"
+        );
+        assert!(
+            undelivered as f64 <= 3.0 + 1.0,
+            "at 3 s latency at most the last few updates can be in flight"
+        );
+    }
+
+    #[test]
+    fn reordered_paths_cannot_roll_the_server_back() {
+        // Two network paths with different latencies deliver out of order:
+        // the newer update (seq 1) overtakes the older one (seq 0). The
+        // server tracker must reject the stale arrival.
+        use crate::channel::MessageChannel;
+        use mbdr_core::{ObjectState, ServerTracker, Update, UpdateKind};
+        use mbdr_geo::Point;
+
+        let make = |seq: u64, t: f64, x: f64| Update {
+            sequence: seq,
+            state: ObjectState::basic(Point::new(x, 0.0), 5.0, 0.0, t),
+            kind: UpdateKind::DeviationBound,
+        };
+        let mut slow = MessageChannel::new(10.0);
+        let mut fast = MessageChannel::new(1.0);
+        let mut server = ServerTracker::new(std::sync::Arc::new(mbdr_core::LinearPredictor));
+        slow.send(0.0, make(0, 0.0, 0.0)); // arrives at t = 10
+        fast.send(2.0, make(1, 2.0, 100.0)); // arrives at t = 3
+        for t in [3.0, 12.0] {
+            for u in fast.deliver_until(t) {
+                server.apply(&u);
+            }
+            for u in slow.deliver_until(t) {
+                server.apply(&u);
+            }
+        }
+        assert_eq!(server.updates_applied(), 1, "the stale seq-0 arrival is dropped");
+        assert_eq!(server.last_state().unwrap().position.x, 100.0, "seq 1 remains current");
+        // Equal sequence numbers (a duplicate delivery) are dropped too.
+        server.apply(&make(1, 2.0, 555.0));
+        assert_eq!(server.updates_applied(), 1);
+        assert_eq!(server.last_state().unwrap().position.x, 100.0);
+    }
+
+    #[test]
     fn channel_latency_is_tolerated() {
         let data = quick_city();
         let ctx = ProtocolContext::for_scenario(&data);

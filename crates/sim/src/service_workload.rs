@@ -1,0 +1,568 @@
+//! Concurrent fleet workload against one shared, sharded location service.
+//!
+//! [`crate::fleet`] measures per-object protocol cost, but every vehicle
+//! there runs against its own private tracker — nothing exercises the shared
+//! [`LocationService`] the paper's motivating queries need. This module closes
+//! that gap: one service, `producers` threads ingesting the whole fleet's
+//! update streams concurrently with `query_threads` threads issuing the
+//! motivating queries (range, k-nearest, zone subscriptions), reporting
+//! ingest throughput, query throughput and *query-observed accuracy* — the
+//! deviation between what a dispatcher is told and where the vehicles truly
+//! are.
+//!
+//! ## Replay model
+//!
+//! Updates are generated offline (phase 1) by running each vehicle's update
+//! protocol over its trace, then replayed (phase 2) in virtual-time rounds of
+//! one second: every producer applies its updates for round `r`, publishes its
+//! frontier, and waits for the others before starting round `r + 1` (a
+//! lockstep barrier, so producers never drift more than one virtual second
+//! apart). Query threads read the minimum frontier `m` and query at
+//! `t = m − ½`: every update with an earlier timestamp is guaranteed applied,
+//! and at most 2.5 virtual seconds of "future" updates may additionally be
+//! visible — which bounds the query-observed error by the protocol's
+//! accuracy bound plus sensor noise plus 2.5 s of vehicle travel. Producers
+//! can sprint ahead while a query thread is descheduled mid-sample, so an
+//! accuracy sample only counts if the frontier is unchanged when it
+//! completes; with that filter the bound holds regardless of thread
+//! interleaving. Throughput numbers are wall-clock; all counts are exact.
+
+use crate::fleet::object_scenario;
+use crate::protocols::{ProtocolContext, ProtocolKind};
+use crate::runner::{run_protocol, RunConfig};
+use mbdr_core::{Predictor, Update};
+use mbdr_geo::{Aabb, Point};
+use mbdr_locserver::{LocationService, ObjectId, ServiceConfig, ZoneWatcher};
+use mbdr_trace::{Scenario, ScenarioData, ScenarioKind, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Relative weights of the three query kinds a query thread cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMix {
+    /// Range queries ("all users inside a department").
+    pub rect: u32,
+    /// k-nearest queries ("nearest taxi").
+    pub nearest: u32,
+    /// Zone-watcher evaluations (enter/leave subscriptions).
+    pub zone: u32,
+}
+
+impl QueryMix {
+    /// Mostly range queries.
+    pub const RECT_HEAVY: QueryMix = QueryMix { rect: 4, nearest: 1, zone: 1 };
+    /// Mostly nearest-neighbour queries.
+    pub const NEAREST_HEAVY: QueryMix = QueryMix { rect: 1, nearest: 4, zone: 1 };
+    /// Even thirds.
+    pub const BALANCED: QueryMix = QueryMix { rect: 1, nearest: 1, zone: 1 };
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        format!("rect{}:near{}:zone{}", self.rect, self.nearest, self.zone)
+    }
+
+    fn total(&self) -> u32 {
+        (self.rect + self.nearest + self.zone).max(1)
+    }
+}
+
+/// Configuration of a service workload run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Fleet size.
+    pub objects: usize,
+    /// Shard count of the shared service.
+    pub shards: usize,
+    /// Threads ingesting updates.
+    pub producers: usize,
+    /// Threads issuing queries.
+    pub query_threads: usize,
+    /// Queries each query thread issues (exact, for deterministic counts).
+    pub queries_per_thread: usize,
+    /// Relative query-kind weights.
+    pub query_mix: QueryMix,
+    /// Trip length per vehicle, metres.
+    pub trip_length_m: f64,
+    /// Requested accuracy `u_s`, metres.
+    pub requested_accuracy: f64,
+    /// Update protocol every vehicle runs.
+    pub protocol: ProtocolKind,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            objects: 64,
+            shards: 16,
+            producers: 4,
+            query_threads: 4,
+            queries_per_thread: 250,
+            query_mix: QueryMix::BALANCED,
+            trip_length_m: 1_500.0,
+            requested_accuracy: 100.0,
+            protocol: ProtocolKind::MapBased,
+            seed: 0x5EAF00D,
+        }
+    }
+}
+
+/// Query-observed accuracy statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryAccuracy {
+    /// Number of (query answer, ground truth) comparisons.
+    pub samples: u64,
+    /// Mean observed deviation, metres.
+    pub mean_m: f64,
+    /// Maximum observed deviation, metres.
+    pub max_m: f64,
+    /// The analytic bound the deviation is checked against: `u_s` + sensor
+    /// accuracy + the distance a vehicle can travel within the replay's
+    /// worst-case producer/query skew.
+    pub bound_m: f64,
+    /// Samples within the bound.
+    pub within_bound: u64,
+}
+
+/// Outcome of a service workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Fleet size.
+    pub objects: usize,
+    /// Service shard count.
+    pub shards: usize,
+    /// Producer thread count.
+    pub producers: usize,
+    /// Query thread count.
+    pub query_threads: usize,
+    /// Query mix label.
+    pub query_mix: String,
+    /// Virtual (simulated) duration replayed, seconds.
+    pub virtual_duration_s: f64,
+    /// Updates generated by the protocols (phase 1).
+    pub updates_sent: u64,
+    /// Updates accepted by the service (phase 2; equals `updates_sent` —
+    /// asserted by the tests).
+    pub updates_applied: u64,
+    /// Wall-clock of the slowest producer, seconds.
+    pub ingest_wall_s: f64,
+    /// Ingest throughput, updates per wall-clock second.
+    pub updates_per_sec: f64,
+    /// Total queries issued (exactly `query_threads · queries_per_thread`).
+    pub queries_issued: u64,
+    /// Wall-clock of the slowest query thread, seconds.
+    pub query_wall_s: f64,
+    /// Query throughput, queries per wall-clock second.
+    pub queries_per_sec: f64,
+    /// Range queries issued.
+    pub rect_queries: u64,
+    /// Nearest queries issued.
+    pub nearest_queries: u64,
+    /// Zone evaluations issued.
+    pub zone_queries: u64,
+    /// Total objects returned by range queries.
+    pub rect_results: u64,
+    /// Total objects returned by nearest queries.
+    pub nearest_results: u64,
+    /// Total zone enter/leave events observed.
+    pub zone_events: u64,
+    /// Query-observed accuracy.
+    pub accuracy: QueryAccuracy,
+}
+
+impl WorkloadReport {
+    /// Renders the report as one JSON object (hand-written, no serializer
+    /// dependency), consumed by `reproduce throughput` as a perf baseline.
+    pub fn to_json(&self) -> String {
+        let a = &self.accuracy;
+        format!(
+            "{{\"objects\":{},\"shards\":{},\"producers\":{},\"query_threads\":{},\
+             \"query_mix\":\"{}\",\"virtual_duration_s\":{:.1},\
+             \"updates_sent\":{},\"updates_applied\":{},\"ingest_wall_s\":{:.4},\
+             \"updates_per_sec\":{:.1},\"queries_issued\":{},\"query_wall_s\":{:.4},\
+             \"queries_per_sec\":{:.1},\"rect_queries\":{},\"nearest_queries\":{},\
+             \"zone_queries\":{},\"rect_results\":{},\"nearest_results\":{},\
+             \"zone_events\":{},\"accuracy\":{{\"samples\":{},\"mean_m\":{:.2},\
+             \"max_m\":{:.2},\"bound_m\":{:.2},\"within_bound\":{}}}}}",
+            self.objects,
+            self.shards,
+            self.producers,
+            self.query_threads,
+            self.query_mix,
+            self.virtual_duration_s,
+            self.updates_sent,
+            self.updates_applied,
+            self.ingest_wall_s,
+            self.updates_per_sec,
+            self.queries_issued,
+            self.query_wall_s,
+            self.queries_per_sec,
+            self.rect_queries,
+            self.nearest_queries,
+            self.zone_queries,
+            self.rect_results,
+            self.nearest_results,
+            self.zone_events,
+            a.samples,
+            a.mean_m,
+            a.max_m,
+            a.bound_m,
+            a.within_bound,
+        )
+    }
+}
+
+/// One vehicle's pre-generated replay script.
+struct ObjectScript {
+    id: ObjectId,
+    predictor: Arc<dyn Predictor>,
+    updates: Vec<Update>,
+    trace: Trace,
+}
+
+/// Phase 1: simulate every vehicle and run its protocol offline, capturing
+/// the update stream the replay will ingest.
+fn build_scripts(config: &WorkloadConfig) -> (ScenarioData, Vec<ObjectScript>) {
+    let base = Scenario { kind: ScenarioKind::City, scale: 0.02, seed: config.seed }.build();
+    let base_ctx = ProtocolContext::for_scenario(&base);
+    let mut slots: Vec<Option<ObjectScript>> = Vec::new();
+    slots.resize_with(config.objects, || None);
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(config.objects);
+    let chunk = config.objects.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        for (worker_index, out_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let base = &base;
+            let base_ctx = &base_ctx;
+            scope.spawn(move |_| {
+                for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                    let object_index = worker_index * chunk + offset;
+                    let data =
+                        object_scenario(base, object_index, config.seed, config.trip_length_m);
+                    let protocol = config.protocol.build(base_ctx, config.requested_accuracy);
+                    let predictor = protocol.predictor();
+                    let outcome = run_protocol(&data.trace, protocol, RunConfig::default());
+                    *slot = Some(ObjectScript {
+                        id: ObjectId(object_index as u64),
+                        predictor,
+                        updates: outcome.updates,
+                        trace: data.trace,
+                    });
+                }
+            });
+        }
+    })
+    .expect("script builder panicked");
+    (base, slots.into_iter().map(|s| s.expect("every object built")).collect())
+}
+
+/// Waits (yielding) until every frontier has reached `round`.
+fn wait_for_round(frontiers: &[AtomicU64], round: u64) {
+    while frontiers.iter().any(|f| f.load(Ordering::Acquire) < round) {
+        std::thread::yield_now();
+    }
+}
+
+/// The minimum producer frontier: every update with a timestamp below it has
+/// been applied to the service.
+fn min_frontier(frontiers: &[AtomicU64]) -> u64 {
+    frontiers.iter().map(|f| f.load(Ordering::Acquire)).min().unwrap_or(0)
+}
+
+/// Per-query-thread tallies, merged into the report after the run.
+#[derive(Default, Clone, Copy)]
+struct QueryTally {
+    rect: u64,
+    nearest: u64,
+    zone: u64,
+    rect_results: u64,
+    nearest_results: u64,
+    zone_events: u64,
+    samples: u64,
+    error_sum: f64,
+    error_max: f64,
+    within: u64,
+    wall_s: f64,
+}
+
+/// Phase 2 + aggregation: runs the whole workload and reports throughput and
+/// query-observed accuracy.
+pub fn run_service_workload(config: &WorkloadConfig) -> WorkloadReport {
+    assert!(config.objects > 0, "workload needs at least one object");
+    assert!(config.producers > 0, "workload needs at least one producer");
+    assert!(config.query_threads > 0, "workload needs at least one query thread");
+    let (base, scripts) = build_scripts(config);
+
+    let service = LocationService::with_config(ServiceConfig {
+        shards: config.shards,
+        slack_m: config.requested_accuracy,
+        ..ServiceConfig::default()
+    });
+    for script in &scripts {
+        service.register(script.id, Arc::clone(&script.predictor));
+    }
+
+    let updates_sent: u64 = scripts.iter().map(|s| s.updates.len() as u64).sum();
+    let virtual_duration = scripts.iter().map(|s| s.trace.duration()).fold(0.0, f64::max).max(1.0);
+    let rounds = virtual_duration.ceil() as u64 + 1;
+
+    // Partition the fleet round-robin over producers and pre-merge each
+    // partition's updates by timestamp so replay is a single pass.
+    let mut partitions: Vec<Vec<(ObjectId, &Update)>> = vec![Vec::new(); config.producers];
+    for (i, script) in scripts.iter().enumerate() {
+        let part = &mut partitions[i % config.producers];
+        part.extend(script.updates.iter().map(|u| (script.id, u)));
+    }
+    for part in &mut partitions {
+        part.sort_by(|a, b| {
+            a.1.state
+                .timestamp
+                .total_cmp(&b.1.state.timestamp)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.sequence.cmp(&b.1.sequence))
+        });
+    }
+
+    let frontiers: Vec<AtomicU64> = (0..config.producers).map(|_| AtomicU64::new(0)).collect();
+    let map_bounds =
+        base.network.bounding_box().unwrap_or_else(|| Aabb::around(Point::ORIGIN, 1_000.0));
+    // Skew bound for an *accepted* accuracy sample (frontier unchanged at
+    // `m` across the sample): a producer only works round `r` once every
+    // frontier reached `r`, so any state applied before the sample has
+    // `r ≤ m` and a timestamp below `m + 1` — at most 1.5 virtual seconds
+    // past the query time `m − ½`. The bound uses 2.5 s for margin; 10 m of
+    // slack absorbs truth interpolation.
+    let v_max = scripts
+        .iter()
+        .flat_map(|s| s.trace.ground_truth.iter())
+        .map(|g| g.speed)
+        .fold(0.0, f64::max);
+    let u_p = scripts
+        .iter()
+        .filter_map(|s| s.trace.fixes.first())
+        .map(|f| f.accuracy)
+        .fold(0.0, f64::max);
+    let accuracy_bound = config.requested_accuracy + u_p + v_max * 2.5 + 10.0;
+
+    let mut ingest_results: Vec<(u64, f64)> = Vec::new();
+    let mut query_results: Vec<QueryTally> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut producer_handles = Vec::new();
+        for (p, part) in partitions.iter().enumerate() {
+            let frontiers = &frontiers;
+            let service = &service;
+            producer_handles.push(scope.spawn(move |_| {
+                let started = Instant::now();
+                let mut pos = 0usize;
+                let mut applied = 0u64;
+                for r in 0..rounds {
+                    let limit = (r + 1) as f64;
+                    while pos < part.len() && part[pos].1.state.timestamp < limit {
+                        let (id, update) = part[pos];
+                        if service.apply_update(id, update) {
+                            applied += 1;
+                        }
+                        pos += 1;
+                    }
+                    frontiers[p].store(r + 1, Ordering::Release);
+                    wait_for_round(frontiers, r + 1);
+                }
+                (applied, started.elapsed().as_secs_f64())
+            }));
+        }
+
+        let mut query_handles = Vec::new();
+        for q in 0..config.query_threads {
+            let frontiers = &frontiers;
+            let service = &service;
+            let scripts = &scripts;
+            query_handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ (q as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+                );
+                let mut tally = QueryTally::default();
+                let mut watcher = ZoneWatcher::new();
+                let center = map_bounds.center();
+                watcher.add_zone("sw", Aabb::new(map_bounds.min, center));
+                watcher.add_zone("ne", Aabb::new(center, map_bounds.max));
+                let started = Instant::now();
+                let span_x = map_bounds.max.x - map_bounds.min.x;
+                let span_y = map_bounds.max.y - map_bounds.min.y;
+                let weights = config.query_mix;
+                for _ in 0..config.queries_per_thread {
+                    // Wait for the first completed round, then query just
+                    // behind the slowest producer.
+                    let mut m = min_frontier(frontiers);
+                    while m == 0 {
+                        std::thread::yield_now();
+                        m = min_frontier(frontiers);
+                    }
+                    let t_q = (m as f64 - 0.5).min(virtual_duration);
+                    let p = Point::new(
+                        map_bounds.min.x + rng.gen_range(0.0..1.0) * span_x,
+                        map_bounds.min.y + rng.gen_range(0.0..1.0) * span_y,
+                    );
+                    let draw = rng.gen_range(0..weights.total());
+                    if draw < weights.rect {
+                        let area = Aabb::around(p, rng.gen_range(100.0..1_200.0));
+                        tally.rect += 1;
+                        tally.rect_results += service.objects_in_rect(&area, t_q).len() as u64;
+                    } else if draw < weights.rect + weights.nearest {
+                        let k = rng.gen_range(1usize..8);
+                        tally.nearest += 1;
+                        tally.nearest_results += service.nearest_objects(&p, t_q, k).len() as u64;
+                    } else {
+                        tally.zone += 1;
+                        tally.zone_events += watcher.evaluate(service, t_q).len() as u64;
+                    }
+                    // Accuracy sample: what the service answers for one random
+                    // vehicle vs. where that vehicle truly is at t_q. Only
+                    // counted if the frontier did not advance while sampling —
+                    // otherwise producers may have applied states arbitrarily
+                    // far past t_q and the 2.5 s skew bound would not apply.
+                    let script = &scripts[rng.gen_range(0usize..scripts.len())];
+                    if t_q <= script.trace.duration() {
+                        if let (Some(report), Some(truth)) = (
+                            service.position_of(script.id, t_q),
+                            script.trace.true_position_at(t_q),
+                        ) {
+                            if min_frontier(frontiers) == m {
+                                let error = report.position.distance(&truth);
+                                tally.samples += 1;
+                                tally.error_sum += error;
+                                tally.error_max = tally.error_max.max(error);
+                                if error <= accuracy_bound {
+                                    tally.within += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                tally.wall_s = started.elapsed().as_secs_f64();
+                tally
+            }));
+        }
+
+        for h in producer_handles {
+            ingest_results.push(h.join().expect("producer panicked"));
+        }
+        for h in query_handles {
+            query_results.push(h.join().expect("query thread panicked"));
+        }
+    })
+    .expect("workload thread panicked");
+
+    let updates_applied: u64 = ingest_results.iter().map(|(n, _)| n).sum();
+    let ingest_wall_s = ingest_results.iter().map(|&(_, s)| s).fold(0.0, f64::max).max(1e-9);
+    let query_wall_s = query_results.iter().map(|t| t.wall_s).fold(0.0, f64::max).max(1e-9);
+    let queries_issued = (config.query_threads * config.queries_per_thread) as u64;
+    let samples: u64 = query_results.iter().map(|t| t.samples).sum();
+    let accuracy = QueryAccuracy {
+        samples,
+        mean_m: if samples > 0 {
+            query_results.iter().map(|t| t.error_sum).sum::<f64>() / samples as f64
+        } else {
+            0.0
+        },
+        max_m: query_results.iter().map(|t| t.error_max).fold(0.0, f64::max),
+        bound_m: accuracy_bound,
+        within_bound: query_results.iter().map(|t| t.within).sum(),
+    };
+    WorkloadReport {
+        objects: config.objects,
+        shards: service.shard_count(),
+        producers: config.producers,
+        query_threads: config.query_threads,
+        query_mix: config.query_mix.label(),
+        virtual_duration_s: virtual_duration,
+        updates_sent,
+        updates_applied,
+        ingest_wall_s,
+        updates_per_sec: updates_applied as f64 / ingest_wall_s,
+        queries_issued,
+        query_wall_s,
+        queries_per_sec: queries_issued as f64 / query_wall_s,
+        rect_queries: query_results.iter().map(|t| t.rect).sum(),
+        nearest_queries: query_results.iter().map(|t| t.nearest).sum(),
+        zone_queries: query_results.iter().map(|t| t.zone).sum(),
+        rect_results: query_results.iter().map(|t| t.rect_results).sum(),
+        nearest_results: query_results.iter().map(|t| t.nearest_results).sum(),
+        zone_events: query_results.iter().map(|t| t.zone_events).sum(),
+        accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_workload_completes_with_verifiable_metrics() {
+        // The acceptance shape: ≥ 64 objects ingested by concurrent producers
+        // while ≥ 4 query threads hammer the shared service.
+        let config = WorkloadConfig {
+            objects: 64,
+            shards: 8,
+            producers: 4,
+            query_threads: 4,
+            queries_per_thread: 60,
+            trip_length_m: 400.0,
+            ..WorkloadConfig::default()
+        };
+        let report = run_service_workload(&config);
+        // Deterministic counts.
+        assert_eq!(report.objects, 64);
+        assert_eq!(report.updates_applied, report.updates_sent, "no update lost or rejected");
+        assert!(report.updates_sent >= 64, "every vehicle sends at least its initial update");
+        assert_eq!(report.queries_issued, 4 * 60);
+        assert_eq!(
+            report.rect_queries + report.nearest_queries + report.zone_queries,
+            report.queries_issued
+        );
+        // Throughput numbers exist and are positive.
+        assert!(report.updates_per_sec > 0.0);
+        assert!(report.queries_per_sec > 0.0);
+        // Query-observed accuracy: every sample is bounded by the analytic
+        // skew bound (up to the protocol's own rare boundary violations).
+        assert!(report.accuracy.samples > 0, "accuracy was sampled");
+        assert!(
+            report.accuracy.within_bound as f64 >= report.accuracy.samples as f64 * 0.95,
+            "{}/{} samples within {:.0} m",
+            report.accuracy.within_bound,
+            report.accuracy.samples,
+            report.accuracy.bound_m
+        );
+        assert!(report.accuracy.mean_m < report.accuracy.bound_m);
+    }
+
+    #[test]
+    fn workload_report_json_is_well_formed() {
+        let config = WorkloadConfig {
+            objects: 6,
+            shards: 2,
+            producers: 2,
+            query_threads: 2,
+            queries_per_thread: 10,
+            trip_length_m: 300.0,
+            query_mix: QueryMix::RECT_HEAVY,
+            ..WorkloadConfig::default()
+        };
+        let report = run_service_workload(&config);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"updates_per_sec\":"));
+        assert!(json.contains("\"queries_per_sec\":"));
+        assert!(json.contains("\"query_mix\":\"rect4:near1:zone1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one producer")]
+    fn zero_producers_are_rejected() {
+        let _ = run_service_workload(&WorkloadConfig { producers: 0, ..WorkloadConfig::default() });
+    }
+}

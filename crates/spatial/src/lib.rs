@@ -11,9 +11,12 @@
 //! * [`RTree`] — a bulk-loaded STR (Sort-Tile-Recursive) R-tree with range and
 //!   (k-)nearest-neighbour queries. Used for larger maps and for the
 //!   location-service queries (range, nearest taxi).
+//! * [`MovingIndex`] — a keyed grid index whose entries can be moved and
+//!   removed after insertion; the location service maintains one per shard to
+//!   keep its range/nearest queries index-pruned while objects move.
 //! * [`SpatialIndex`] — the common query trait, so the map matcher and the
 //!   location service are index-agnostic (and the benchmarks can compare the
-//!   two implementations).
+//!   implementations).
 //!
 //! Entries are `(Aabb, T)` pairs; the caller decides what the payload `T` is
 //! (a link id, an object id, …) and how precise the final distance filter must
@@ -24,9 +27,11 @@
 #![deny(unsafe_code)]
 
 pub mod grid;
+pub mod moving;
 pub mod rtree;
 
 pub use grid::GridIndex;
+pub use moving::MovingIndex;
 pub use rtree::RTree;
 
 use mbdr_geo::{Aabb, Point};

@@ -1,0 +1,299 @@
+//! A keyed, incrementally-updatable grid index for moving objects.
+//!
+//! [`GridIndex`](crate::GridIndex) and [`RTree`](crate::RTree) are build-once
+//! structures: perfect for static map geometry, useless for a store whose
+//! entries (tracked objects) move on every update. [`MovingIndex`] fills that
+//! gap: the same uniform-grid cell structure, but entries are addressed by a
+//! caller-chosen key and can be inserted, moved and removed in O(cells per
+//! entry) — the operation the location service performs on every ingested
+//! position update.
+//!
+//! Queries go through the common [`SpatialIndex`] trait, so the service stays
+//! index-agnostic and the equivalence property tests cover all three
+//! implementations with the same brute-force oracle.
+
+use crate::{Entry, Neighbor, SpatialIndex};
+use mbdr_geo::{Aabb, Point};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A uniform-grid spatial index whose entries are addressed by key and may be
+/// moved or removed after insertion.
+///
+/// Keys must be `Ord` so query results can be returned in a deterministic
+/// order regardless of hash-map iteration order.
+#[derive(Debug, Clone)]
+pub struct MovingIndex<K> {
+    cell_size: f64,
+    /// Key → current entry (`entry.item` is the key itself).
+    items: HashMap<K, Entry<K>>,
+    /// Cell coordinates → keys of entries overlapping the cell.
+    cells: HashMap<(i64, i64), Vec<K>>,
+    /// Union of every bbox ever inserted (never shrinks on removal); used as
+    /// a conservative termination bound for nearest-neighbour searches.
+    bounds: Option<Aabb>,
+}
+
+impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
+    /// Creates an empty index with the given cell size in metres.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "grid cell size must be positive");
+        MovingIndex { cell_size, items: HashMap::new(), cells: HashMap::new(), bounds: None }
+    }
+
+    /// The configured cell size in metres.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Returns `true` if `key` currently has an entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.items.contains_key(key)
+    }
+
+    /// The bounding box currently stored for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&Aabb> {
+        self.items.get(key).map(|e| &e.bbox)
+    }
+
+    /// A box guaranteed to contain every current entry (it may be larger:
+    /// removals do not shrink it). `None` while nothing was ever inserted.
+    pub fn bounds(&self) -> Option<Aabb> {
+        self.bounds
+    }
+
+    /// Number of occupied grid cells (diagnostic; useful in benchmarks).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Inserts `key` with `bbox`, replacing (and unregistering) any previous
+    /// placement of the same key. Returns `true` if the key was already
+    /// present.
+    pub fn insert(&mut self, key: K, bbox: Aabb) -> bool {
+        let moved = self.remove(&key);
+        for cell in cell_range(&bbox, self.cell_size) {
+            self.cells.entry(cell).or_default().push(key);
+        }
+        self.items.insert(key, Entry::new(bbox, key));
+        self.bounds = Some(match self.bounds {
+            Some(b) => b.union(&bbox),
+            None => bbox,
+        });
+        moved
+    }
+
+    /// Removes `key` from the index. Returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let Some(old) = self.items.remove(key) else {
+            return false;
+        };
+        for cell in cell_range(&old.bbox, self.cell_size) {
+            if let Some(keys) = self.cells.get_mut(&cell) {
+                if let Some(pos) = keys.iter().position(|k| k == key) {
+                    keys.swap_remove(pos);
+                }
+                if keys.is_empty() {
+                    self.cells.remove(&cell);
+                }
+            }
+        }
+        true
+    }
+
+    /// Keys of entries registered in cells overlapping `query`, deduplicated
+    /// and sorted (ascending) for deterministic iteration.
+    ///
+    /// The visited cell range is clamped to the occupied bounds so an
+    /// oversized query box (e.g. a nearest-neighbour ring that grew to the
+    /// whole extent) costs cells-in-use, not cells-in-query.
+    fn candidate_keys(&self, query: &Aabb) -> Vec<K> {
+        let Some(bounds) = self.bounds else {
+            return Vec::new();
+        };
+        if !bounds.intersects(query) {
+            return Vec::new();
+        }
+        let clamped = Aabb {
+            min: Point::new(query.min.x.max(bounds.min.x), query.min.y.max(bounds.min.y)),
+            max: Point::new(query.max.x.min(bounds.max.x), query.max.y.min(bounds.max.y)),
+        };
+        let mut out: Vec<K> = Vec::new();
+        for cell in cell_range(&clamped, self.cell_size) {
+            if let Some(keys) = self.cells.get(&cell) {
+                out.extend_from_slice(keys);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A radius from `p` guaranteed to cover every entry (derived from the
+    /// monotone `bounds` box, so O(1) rather than a scan). Used to terminate
+    /// expanding-ring nearest-neighbour searches, both the index's own and
+    /// the location service's cross-shard one.
+    pub fn extent_radius(&self, p: &Point) -> f64 {
+        match self.bounds {
+            Some(b) => {
+                let dx = (p.x - b.min.x).abs().max((p.x - b.max.x).abs());
+                let dy = (p.y - b.min.y).abs().max((p.y - b.max.y).abs());
+                dx.hypot(dy) + self.cell_size
+            }
+            None => self.cell_size,
+        }
+    }
+}
+
+/// The inclusive range of grid cells a box overlaps, as an iterator.
+fn cell_range(bbox: &Aabb, cell_size: f64) -> impl Iterator<Item = (i64, i64)> {
+    let cx0 = (bbox.min.x / cell_size).floor() as i64;
+    let cy0 = (bbox.min.y / cell_size).floor() as i64;
+    let cx1 = (bbox.max.x / cell_size).floor() as i64;
+    let cy1 = (bbox.max.y / cell_size).floor() as i64;
+    (cx0..=cx1).flat_map(move |cx| (cy0..=cy1).map(move |cy| (cx, cy)))
+}
+
+impl<K: Copy + Eq + Hash + Ord> SpatialIndex<K> for MovingIndex<K> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<K>> {
+        self.candidate_keys(query)
+            .into_iter()
+            .filter_map(|k| self.items.get(&k))
+            .filter(|e| e.bbox.intersects(query))
+            .collect()
+    }
+
+    fn nearest<'a>(&'a self, p: &Point, k: usize) -> Vec<Neighbor<'a, K>> {
+        if self.items.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let extent = self.extent_radius(p);
+        let mut radius = self.cell_size;
+        loop {
+            // Entries whose bbox does not intersect the square of half-width
+            // `radius` are strictly farther than `radius` from `p`, so once
+            // the k-th candidate distance is within `radius` the result is
+            // exact (no diagonal-cell corrections needed).
+            let mut found: Vec<Neighbor<'a, K>> = self
+                .query_rect(&Aabb::around(*p, radius))
+                .into_iter()
+                .map(|e| Neighbor { distance: e.bbox.distance_to_point(p), entry: e })
+                .collect();
+            found.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .expect("finite distances")
+                    .then(a.entry.item.cmp(&b.entry.item))
+            });
+            let settled = found.len() >= k && found[k - 1].distance <= radius;
+            if settled || radius >= extent {
+                found.truncate(k);
+                return found;
+            }
+            let needed = if found.len() >= k { found[k - 1].distance } else { radius * 2.0 };
+            radius = (radius * 2.0).max(needed).min(extent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> MovingIndex<u32> {
+        let mut idx = MovingIndex::new(10.0);
+        idx.insert(1, Aabb::around(Point::new(5.0, 5.0), 1.0));
+        idx.insert(2, Aabb::around(Point::new(25.0, 5.0), 1.0));
+        idx.insert(3, Aabb::around(Point::new(105.0, 105.0), 1.0));
+        idx
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_rejected() {
+        let _ = MovingIndex::<u32>::new(0.0);
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut idx = populated();
+        assert_eq!(idx.len(), 3);
+        assert!(idx.contains_key(&2));
+        let hits = idx.query_rect(&Aabb::around(Point::new(5.0, 5.0), 3.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].item, 1);
+        assert!(idx.remove(&1));
+        assert!(!idx.remove(&1), "double remove is a no-op");
+        assert!(idx.query_rect(&Aabb::around(Point::new(5.0, 5.0), 3.0)).is_empty());
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_moves_the_entry() {
+        let mut idx = populated();
+        assert!(idx.insert(1, Aabb::around(Point::new(205.0, 5.0), 1.0)), "key existed");
+        assert_eq!(idx.len(), 3, "a move does not grow the index");
+        assert!(idx.query_rect(&Aabb::around(Point::new(5.0, 5.0), 3.0)).is_empty());
+        let hits = idx.query_rect(&Aabb::around(Point::new(205.0, 5.0), 3.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].item, 1);
+        assert_eq!(idx.get(&1).unwrap().center(), Point::new(205.0, 5.0));
+    }
+
+    #[test]
+    fn large_entry_spans_multiple_cells_and_is_cleaned_up() {
+        let mut idx = MovingIndex::new(10.0);
+        idx.insert(9, Aabb::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)));
+        assert!(idx.occupied_cells() >= 25);
+        assert!(idx.query_rect(&Aabb::around(Point::new(49.0, 49.0), 1.0)).len() == 1);
+        idx.remove(&9);
+        assert_eq!(idx.occupied_cells(), 0, "empty cell vectors are dropped");
+    }
+
+    #[test]
+    fn nearest_orders_by_distance_then_key() {
+        let mut idx = populated();
+        // Two entries at the same distance from the query point.
+        idx.insert(4, Aabb::around(Point::new(-15.0, 5.0), 1.0));
+        idx.insert(5, Aabb::around(Point::new(25.0, 5.0), 1.0)); // same box as 2
+        let nn = idx.nearest(&Point::new(5.0, 5.0), 4);
+        assert_eq!(nn.len(), 4);
+        assert!(nn.windows(2).all(|w| w[0].distance <= w[1].distance));
+        let items: Vec<u32> = nn.iter().map(|n| n.entry.item).collect();
+        assert_eq!(items[0], 1);
+        // 2 and 5 share a distance: ascending key order breaks the tie.
+        let pos2 = items.iter().position(|&i| i == 2).unwrap();
+        let pos5 = items.iter().position(|&i| i == 5).unwrap();
+        assert!(pos2 < pos5);
+    }
+
+    #[test]
+    fn nearest_reaches_far_entries_and_empty_index_is_empty() {
+        let idx = populated();
+        let nn = idx.nearest(&Point::ORIGIN, 3);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn.last().unwrap().entry.item, 3);
+        let empty: MovingIndex<u32> = MovingIndex::new(10.0);
+        assert!(empty.nearest(&Point::ORIGIN, 2).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn bounds_track_insertions() {
+        let mut idx = MovingIndex::new(10.0);
+        assert!(idx.bounds().is_none());
+        idx.insert(1, Aabb::around(Point::new(0.0, 0.0), 1.0));
+        idx.insert(2, Aabb::around(Point::new(100.0, -50.0), 1.0));
+        let b = idx.bounds().unwrap();
+        assert!(b.contains(&Point::new(0.0, 0.0)));
+        assert!(b.contains(&Point::new(100.0, -50.0)));
+    }
+}

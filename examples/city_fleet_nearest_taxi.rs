@@ -11,7 +11,7 @@
 
 use mbdr_core::{ObjectState, Update, UpdateKind};
 use mbdr_geo::{Aabb, Point};
-use mbdr_locserver::{LocationService, ObjectId, ZoneWatcher};
+use mbdr_locserver::{LocationService, ObjectId, ServiceConfig, ZoneWatcher};
 use mbdr_sim::fleet::{run_fleet, FleetConfig};
 use mbdr_sim::ProtocolKind;
 use std::sync::Arc;
@@ -35,8 +35,10 @@ fn main() {
     // 2. Feed each taxi's final reported position into the location service.
     //    (In a live system the service would consume the update stream; here
     //    we register the last known state of each taxi for the dispatch
-    //    queries below.)
-    let service = LocationService::new();
+    //    queries below.) The service is sharded: each taxi's updates go to
+    //    one lock stripe, and the dispatch queries below are answered from
+    //    the per-shard spatial indexes instead of scanning the whole fleet.
+    let service = LocationService::with_config(ServiceConfig::with_shards(8));
     let mut sequence = 0u64;
     for (i, trace) in fleet.traces.iter().enumerate() {
         let id = ObjectId(i as u64);
@@ -51,7 +53,11 @@ fn main() {
             service.apply_update(id, &update);
         }
     }
-    println!("location service now tracks {} taxis", service.object_count());
+    println!(
+        "location service now tracks {} taxis across {} shards",
+        service.object_count(),
+        service.shard_count()
+    );
     println!();
 
     // 3. Dispatch queries.
@@ -86,4 +92,15 @@ fn main() {
     for event in events {
         println!("  taxi #{} {:?} zone `{}`", event.object.0, event.kind, event.zone);
     }
+
+    // 5. A taxi goes off shift: deregistering removes it from the store and
+    //    the spatial index; purging tells the zone watcher immediately.
+    service.deregister(ObjectId(0));
+    let left = watcher.purge_object(ObjectId(0));
+    println!();
+    println!(
+        "taxi #0 went off shift: {} taxis remain, {} zone-left event(s) emitted",
+        service.object_count(),
+        left.len()
+    );
 }

@@ -1,0 +1,59 @@
+//! The concurrent fleet workload: one shared, sharded location service,
+//! producer threads ingesting every vehicle's update stream while query
+//! threads ask the paper's motivating questions against it.
+//!
+//! ```text
+//! cargo run --release -p mbdr-examples --example service_throughput
+//! ```
+
+use mbdr_sim::{run_service_workload, QueryMix, WorkloadConfig};
+
+fn main() {
+    let config = WorkloadConfig {
+        objects: 96,
+        shards: 16,
+        producers: 4,
+        query_threads: 4,
+        queries_per_thread: 400,
+        query_mix: QueryMix::BALANCED,
+        trip_length_m: 1_200.0,
+        ..WorkloadConfig::default()
+    };
+    println!(
+        "replaying {} vehicles over {} producers against a {}-shard service, \
+         {} query threads x {} queries...",
+        config.objects,
+        config.producers,
+        config.shards,
+        config.query_threads,
+        config.queries_per_thread
+    );
+    let report = run_service_workload(&config);
+    println!();
+    println!(
+        "ingest:  {} updates in {:.1} ms  →  {:.0} updates/s",
+        report.updates_applied,
+        report.ingest_wall_s * 1e3,
+        report.updates_per_sec
+    );
+    println!(
+        "queries: {} ({} rect, {} nearest, {} zone) in {:.1} ms  →  {:.0} queries/s",
+        report.queries_issued,
+        report.rect_queries,
+        report.nearest_queries,
+        report.zone_queries,
+        report.query_wall_s * 1e3,
+        report.queries_per_sec
+    );
+    println!(
+        "query-observed accuracy: mean {:.1} m, max {:.1} m over {} samples \
+         ({} within the {:.0} m skew bound)",
+        report.accuracy.mean_m,
+        report.accuracy.max_m,
+        report.accuracy.samples,
+        report.accuracy.within_bound,
+        report.accuracy.bound_m
+    );
+    println!();
+    println!("JSON: {}", report.to_json());
+}
