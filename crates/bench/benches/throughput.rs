@@ -39,12 +39,31 @@ fn bench_throughput(c: &mut Criterion) {
     let mut ingest = c.benchmark_group("service_ingest_4096_updates");
     for shards in [1usize, 16] {
         let service = populated(shards);
-        ingest.bench_function(&format!("shards_{shards}"), |b| {
+        ingest.bench_function(&format!("one_at_a_time/shards_{shards}"), |b| {
             let mut step = 0u64;
             b.iter(|| {
                 step += 1;
                 for object in 0..4_096u64 {
                     service.apply_update(ObjectId(object % OBJECTS), &update_for(object, step));
+                }
+                service.total_updates()
+            })
+        });
+        // The same traffic through apply_batch: each stripe lock is taken
+        // once per batch instead of once per update.
+        let service = populated(shards);
+        ingest.bench_function(&format!("batched_256/shards_{shards}"), |b| {
+            let mut step = 0u64;
+            let mut batch = Vec::with_capacity(256);
+            b.iter(|| {
+                step += 1;
+                for chunk_start in (0..4_096u64).step_by(256) {
+                    batch.clear();
+                    batch.extend(
+                        (chunk_start..chunk_start + 256)
+                            .map(|object| (ObjectId(object % OBJECTS), update_for(object, step))),
+                    );
+                    black_box(service.apply_batch(&batch));
                 }
                 service.total_updates()
             })

@@ -9,6 +9,7 @@
 //! cargo run --release -p mbdr-bench --bin reproduce -- updates-trace
 //! cargo run --release -p mbdr-bench --bin reproduce -- ablations --scale 0.25
 //! cargo run --release -p mbdr-bench --bin reproduce -- throughput --scale 0.02
+//! cargo run --release -p mbdr-bench --bin reproduce -- wire --scale 0.1
 //! ```
 //!
 //! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
@@ -16,6 +17,7 @@
 //! figure data as CSV instead of a table.
 
 use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
+use mbdr_bench::wire::wire_baseline;
 use mbdr_bench::{
     ablations, figure, figure_number, scenario_data, summary, table1, updates_along_route,
     DEFAULT_SEED,
@@ -75,7 +77,7 @@ fn die(message: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|all] [--scale F] [--seed N] [--csv]"
+         json|throughput|wire|all] [--scale F] [--seed N] [--csv]"
     );
 }
 
@@ -184,11 +186,17 @@ fn print_updates_trace(scale: f64, seed: u64) {
 }
 
 /// Emits the concurrent service-workload sweep (objects × shards × query mix
-/// → updates/s, queries/s, query-observed accuracy) as one JSON document —
-/// the sharded location service's perf baseline.
+/// × ingest mode → updates/s, queries/s, query-observed accuracy) as one JSON
+/// document — the sharded location service's perf baseline.
 fn print_throughput(scale: f64, seed: u64) {
     let reports = throughput_grid(scale, seed);
     println!("{}", render_throughput_json(scale, seed, &reports));
+}
+
+/// Emits the lossy-link sweep (loss rate → delivery, accuracy degradation,
+/// message overhead) as one JSON document — the wire protocol's baseline.
+fn print_wire(scale: f64, seed: u64) {
+    println!("{}", wire_baseline(scale, seed).to_json());
 }
 
 fn print_ablations(scale: f64, seed: u64, csv: bool) {
@@ -231,6 +239,7 @@ fn main() {
         "summary" => print_summary(options.scale, options.seed),
         "json" => print_json_baseline(options.scale, options.seed),
         "throughput" => print_throughput(options.scale, options.seed),
+        "wire" => print_wire(options.scale, options.seed),
         "updates-trace" => print_updates_trace(options.scale, options.seed),
         "ablations" => print_ablations(options.scale, options.seed, options.csv),
         "all" => {

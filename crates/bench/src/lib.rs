@@ -9,12 +9,14 @@
 //! and the Criterion benches reuse them at reduced scale. Beyond the paper's
 //! artefacts, [`throughput`] sweeps the concurrent fleet workload over the
 //! sharded location service (objects × shards × query mix) as the service's
-//! perf baseline.
+//! perf baseline, and [`wire`] sweeps the lossy-uplink channel model over
+//! loss rates as the wire protocol's accuracy/overhead baseline.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod throughput;
+pub mod wire;
 
 use mbdr_geo::Point;
 use mbdr_sim::protocols::ProtocolContext;

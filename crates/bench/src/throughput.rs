@@ -6,30 +6,37 @@
 
 use mbdr_sim::{run_service_workload, QueryMix, WorkloadConfig, WorkloadReport};
 
-/// The workload grid at the given scale. `scale` shrinks fleet size, trip
-/// length and query counts together, so `--scale 0.02` is a seconds-long
-/// smoke run while `--scale 1.0` is the full measurement.
+/// The workload grid at the given scale — every combination of fleet size,
+/// shard count, query mix and ingest mode (per-update vs per-round
+/// `apply_batch`), so the batching win stays visible next to the lock-striping
+/// win. `scale` shrinks fleet size, trip length and query counts together, so
+/// `--scale 0.02` is a seconds-long smoke run while `--scale 1.0` is the full
+/// measurement.
 pub fn throughput_grid(scale: f64, seed: u64) -> Vec<WorkloadReport> {
     let objects_axis = [64usize, 192];
     let shards_axis = [1usize, 16];
     let mix_axis = [QueryMix::RECT_HEAVY, QueryMix::NEAREST_HEAVY];
+    let ingest_axis = [false, true];
     let mut reports = Vec::new();
     for &objects_base in &objects_axis {
         for &shards in &shards_axis {
             for &query_mix in &mix_axis {
-                let config = WorkloadConfig {
-                    objects: ((objects_base as f64 * scale).round() as usize).max(8),
-                    shards,
-                    producers: 4,
-                    query_threads: 4,
-                    queries_per_thread: ((600.0 * scale) as usize).max(40),
-                    query_mix,
-                    trip_length_m: (3_000.0 * scale).max(400.0),
-                    requested_accuracy: 100.0,
-                    protocol: mbdr_sim::ProtocolKind::MapBased,
-                    seed,
-                };
-                reports.push(run_service_workload(&config));
+                for &batched_ingest in &ingest_axis {
+                    let config = WorkloadConfig {
+                        objects: ((objects_base as f64 * scale).round() as usize).max(8),
+                        shards,
+                        producers: 4,
+                        query_threads: 4,
+                        queries_per_thread: ((600.0 * scale) as usize).max(40),
+                        query_mix,
+                        trip_length_m: (3_000.0 * scale).max(400.0),
+                        requested_accuracy: 100.0,
+                        protocol: mbdr_sim::ProtocolKind::MapBased,
+                        batched_ingest,
+                        seed,
+                    };
+                    reports.push(run_service_workload(&config));
+                }
             }
         }
     }
@@ -59,7 +66,8 @@ mod tests {
     fn smoke_grid_produces_json_with_throughput_fields() {
         // Tiny smoke scale: the same path CI exercises.
         let reports = throughput_grid(0.02, 7);
-        assert_eq!(reports.len(), 8, "2 fleet sizes x 2 shard counts x 2 mixes");
+        assert_eq!(reports.len(), 16, "2 fleet sizes x 2 shard counts x 2 mixes x 2 ingest modes");
+        assert_eq!(reports.iter().filter(|r| r.batched_ingest).count(), 8);
         for r in &reports {
             assert!(r.updates_per_sec > 0.0);
             assert!(r.queries_per_sec > 0.0);
@@ -67,6 +75,7 @@ mod tests {
         }
         let json = render_throughput_json(0.02, 7, &reports);
         assert!(json.contains("\"schema\":\"mbdr-throughput/1\""));
+        assert!(json.contains("\"batched_ingest\":true"));
         assert!(json.contains("\"updates_per_sec\":"));
         assert!(json.contains("\"queries_per_sec\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

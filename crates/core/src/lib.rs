@@ -33,7 +33,10 @@
 //!
 //! [`server::ServerTracker`] is the server-side replica that applies updates
 //! and answers `position_at(t)`; [`protocol::UpdateProtocol`] is the
-//! source-side trait all the variants implement.
+//! source-side trait all the variants implement. [`wire`] is the verified
+//! codec the updates travel as: a round-trip-exact encoder/decoder pair plus
+//! the length-prefixed [`wire::Frame`] batching many updates per
+//! transmission.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -53,6 +56,7 @@ pub mod protocol;
 pub mod server;
 pub mod state;
 pub mod time_based;
+pub mod wire;
 
 pub use adaptive::{AdaptiveDeadReckoning, AdaptivePolicy};
 pub use distance_based::DistanceBasedReporting;
@@ -69,3 +73,4 @@ pub use protocol::{ProtocolConfig, Sighting, UpdateProtocol};
 pub use server::ServerTracker;
 pub use state::{ObjectState, Update, UpdateKind};
 pub use time_based::TimeBasedReporting;
+pub use wire::{DecodeError, EncodeError, Frame};

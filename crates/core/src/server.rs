@@ -44,12 +44,28 @@ impl ServerTracker {
         }
     }
 
-    /// Applies an update received from the source. Out-of-order updates (lower
-    /// sequence number than already applied) are ignored, as the newer state
-    /// supersedes them.
+    /// Applies an update received from the source.
+    ///
+    /// Freshness is decided by the report timestamp first and the sequence
+    /// number as the tiebreak: an update is applied iff its timestamp is
+    /// strictly newer than the applied state's, or equal with a higher
+    /// sequence number. Within one source run the two orders agree (sequence
+    /// and timestamp both increase), so reordered and duplicated deliveries
+    /// are rejected exactly as under a sequence-only check — but a restarted
+    /// source (sequence reset to 0, timestamps still advancing) is accepted
+    /// again instead of being dropped forever, and pre-restart stragglers
+    /// (high sequence, old timestamp) cannot roll the state back.
     pub fn apply(&mut self, update: &Update) {
-        if let Some(seq) = self.last_sequence {
-            if update.sequence <= seq {
+        // A non-finite timestamp (possible via garbage bytes that happen to
+        // decode) would poison the freshness comparison forever — e.g. a NaN
+        // first report makes every later `>` test false. Reject it outright.
+        if !update.state.timestamp.is_finite() {
+            return;
+        }
+        if let (Some(seq), Some(last)) = (self.last_sequence, self.last.as_ref()) {
+            let fresher = update.state.timestamp > last.timestamp
+                || (update.state.timestamp == last.timestamp && update.sequence > seq);
+            if !fresher {
                 return;
             }
         }
@@ -135,5 +151,45 @@ mod tests {
         t.apply(&update(3, 100.0, 0.0)); // arrives late, must be dropped
         assert_eq!(t.updates_applied(), 1);
         assert_eq!(t.last_state().unwrap().position.x, 500.0);
+        // A re-delivered duplicate (same sequence, same timestamp) is dropped.
+        t.apply(&update(5, 200.0, 999.0));
+        assert_eq!(t.updates_applied(), 1);
+        assert_eq!(t.last_state().unwrap().position.x, 500.0);
+    }
+
+    #[test]
+    fn non_finite_timestamps_cannot_poison_the_tracker() {
+        let mut t = ServerTracker::new(Arc::new(LinearPredictor));
+        t.apply(&update(0, f64::NAN, 123.0));
+        assert_eq!(t.updates_applied(), 0, "NaN first report is rejected");
+        t.apply(&update(1, f64::INFINITY, 123.0));
+        assert_eq!(t.updates_applied(), 0);
+        // Ordinary tracking proceeds unharmed afterwards.
+        t.apply(&update(2, 10.0, 0.0));
+        t.apply(&update(3, 20.0, 50.0));
+        assert_eq!(t.updates_applied(), 2);
+        assert_eq!(t.last_state().unwrap().position.x, 50.0);
+    }
+
+    #[test]
+    fn restarted_source_with_reset_sequence_is_tracked_again() {
+        // Regression: a sequence-only staleness check bricked the tracker
+        // after a source restart (sequence reset to 0) — every later update
+        // had a "stale" sequence and was dropped forever.
+        let mut t = ServerTracker::new(Arc::new(LinearPredictor));
+        t.apply(&update(41, 200.0, 500.0));
+        // The source reboots and starts a fresh stream at sequence 0 with a
+        // strictly newer timestamp: must be accepted.
+        t.apply(&update(0, 300.0, 800.0));
+        assert_eq!(t.updates_applied(), 2);
+        assert_eq!(t.last_state().unwrap().position.x, 800.0);
+        // The tracker adopted the new stream: its next sequences apply...
+        t.apply(&update(1, 310.0, 900.0));
+        assert_eq!(t.updates_applied(), 3);
+        // ...while leftovers of the pre-restart stream (older timestamps,
+        // whatever their sequence) are still rejected.
+        t.apply(&update(40, 190.0, 0.0));
+        assert_eq!(t.updates_applied(), 3);
+        assert_eq!(t.last_state().unwrap().position.x, 900.0);
     }
 }

@@ -54,8 +54,8 @@ impl ObjectState {
     }
 }
 
-/// Why an update was sent (diagnostics and evaluation only; the wire format
-/// does not need it).
+/// Why an update was sent (one byte on the wire, so the server can tell
+/// protocol mode changes from ordinary deviation-bound reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UpdateKind {
     /// First report after the protocol started.
@@ -82,62 +82,9 @@ pub struct Update {
     pub kind: UpdateKind,
 }
 
-impl Update {
-    /// Encodes the update into a compact wire representation.
-    ///
-    /// The encoding is what a bandwidth-conscious implementation over GSM/GPRS
-    /// would send: sequence number, timestamp, position, speed, heading and —
-    /// only when present — link id, arc length and travel direction. Its
-    /// length is what the simulator's message accounting charges per update.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(64);
-        buf.extend_from_slice(&self.sequence.to_be_bytes());
-        buf.extend_from_slice(&self.state.timestamp.to_be_bytes());
-        buf.extend_from_slice(&self.state.position.x.to_be_bytes());
-        buf.extend_from_slice(&self.state.position.y.to_be_bytes());
-        buf.extend_from_slice(&(self.state.speed as f32).to_be_bytes());
-        buf.extend_from_slice(&(self.state.heading as f32).to_be_bytes());
-        match self.state.link {
-            Some(link) => {
-                buf.push(1);
-                buf.extend_from_slice(&link.0.to_be_bytes());
-                buf.extend_from_slice(&(self.state.arc_length as f32).to_be_bytes());
-                let towards = self.state.towards.map(|n| n.0).unwrap_or(u32::MAX);
-                buf.extend_from_slice(&towards.to_be_bytes());
-            }
-            None => buf.push(0),
-        }
-        if self.state.turn_rate != 0.0 {
-            buf.push(1);
-            buf.extend_from_slice(&(self.state.turn_rate as f32).to_be_bytes());
-        } else {
-            buf.push(0);
-        }
-        buf
-    }
-
-    /// Size of the encoded update in bytes.
-    pub fn encoded_len(&self) -> usize {
-        self.encode().len()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn sample_state() -> ObjectState {
-        ObjectState {
-            position: Point::new(12.5, -3.75),
-            speed: 27.8,
-            heading: 1.2,
-            timestamp: 100.0,
-            link: Some(LinkId(42)),
-            arc_length: 155.0,
-            towards: Some(NodeId(7)),
-            turn_rate: 0.0,
-        }
-    }
 
     #[test]
     fn basic_state_has_no_map_fields() {
@@ -145,33 +92,5 @@ mod tests {
         assert!(s.link.is_none());
         assert!(s.towards.is_none());
         assert_eq!(s.turn_rate, 0.0);
-    }
-
-    #[test]
-    fn encoding_is_compact_and_link_dependent() {
-        let with_link =
-            Update { sequence: 1, state: sample_state(), kind: UpdateKind::DeviationBound };
-        let mut without = with_link;
-        without.state.link = None;
-        // Map-based updates carry the link id + arc length + direction, so they
-        // are slightly larger — but both stay well under 100 bytes.
-        assert!(with_link.encoded_len() > without.encoded_len());
-        assert!(with_link.encoded_len() < 100);
-        assert!(without.encoded_len() >= 41);
-    }
-
-    #[test]
-    fn turn_rate_adds_payload_only_when_nonzero() {
-        let mut u = Update { sequence: 1, state: sample_state(), kind: UpdateKind::Initial };
-        let plain = u.encoded_len();
-        u.state.turn_rate = 0.05;
-        assert_eq!(u.encoded_len(), plain + 4);
-    }
-
-    #[test]
-    fn encoding_starts_with_the_sequence_number() {
-        let u = Update { sequence: 0xABCD, state: sample_state(), kind: UpdateKind::Initial };
-        let bytes = u.encode();
-        assert_eq!(u64::from_be_bytes(bytes[..8].try_into().unwrap()), 0xABCD);
     }
 }

@@ -1,0 +1,133 @@
+//! Property-based tests for the wire codec: `decode(encode(u))` reproduces
+//! every update (modulo the documented `f32` narrowing), `encoded_len()` is
+//! exact without allocating, and damaged buffers produce typed errors instead
+//! of panics.
+
+use mbdr_core::wire::TOWARDS_NONE_WIRE;
+use mbdr_core::{DecodeError, Frame, ObjectState, Update, UpdateKind};
+use mbdr_geo::Point;
+use mbdr_roadnet::{LinkId, NodeId};
+use proptest::prelude::*;
+
+const KINDS: [UpdateKind; 5] = [
+    UpdateKind::Initial,
+    UpdateKind::DeviationBound,
+    UpdateKind::ModeChange,
+    UpdateKind::Periodic,
+    UpdateKind::Movement,
+];
+
+/// Draws one arbitrary update covering every field combination: with/without
+/// a link, with/without a travel direction, with/without a turn rate, every
+/// kind, and sequence numbers across the whole `u64` range.
+fn arb_update() -> impl Strategy<Value = Update> {
+    (
+        (0u64..u64::MAX, 0usize..KINDS.len(), -50_000.0..50_000.0f64, -50_000.0..50_000.0f64),
+        (0.0..70.0f64, -10.0..10.0f64, 0.0..100_000.0f64),
+        (0u8..2, 0u32..10_000, 0.0..3_000.0f64, 0u8..3, 0u32..TOWARDS_NONE_WIRE, 0u8..2),
+        -1.0..1.0f64,
+    )
+        .prop_map(
+            |(
+                (sequence, kind, x, y),
+                (speed, heading, timestamp),
+                (has_link, link_id, arc_length, towards_mode, towards_id, has_turn),
+                turn_rate,
+            )| {
+                let link = (has_link == 1).then_some(LinkId(link_id));
+                Update {
+                    sequence,
+                    state: ObjectState {
+                        position: Point::new(x, y),
+                        speed,
+                        heading,
+                        timestamp,
+                        link,
+                        arc_length: if link.is_some() { arc_length } else { 0.0 },
+                        towards: (link.is_some() && towards_mode > 0).then_some(NodeId(towards_id)),
+                        turn_rate: if has_turn == 1 { turn_rate } else { 0.0 },
+                    },
+                    kind: KINDS[kind],
+                }
+            },
+        )
+}
+
+/// What a round trip is expected to reproduce: the `f32`-narrowed values of
+/// the fields the wire carries at reduced precision.
+fn narrowed(u: &Update) -> Update {
+    let mut n = *u;
+    n.state.speed = u.state.speed as f32 as f64;
+    n.state.heading = u.state.heading as f32 as f64;
+    n.state.arc_length = u.state.arc_length as f32 as f64;
+    n.state.turn_rate = u.state.turn_rate as f32 as f64;
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_inverts_encode(u in arb_update()) {
+        let bytes = u.encode().expect("generated updates avoid the sentinel");
+        let decoded = Update::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded, narrowed(&u));
+        // A second trip is bit-exact: the narrowing is idempotent.
+        prop_assert_eq!(decoded.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn encoded_len_is_exact_without_allocating(u in arb_update()) {
+        prop_assert_eq!(u.encoded_len(), u.encode().unwrap().len());
+    }
+
+    #[test]
+    fn truncated_buffers_error_instead_of_panicking(u in arb_update(), frac in 0.0..1.0f64) {
+        let bytes = u.encode().unwrap();
+        let cut = ((bytes.len() as f64 * frac) as usize).min(bytes.len() - 1);
+        prop_assert!(matches!(
+            Update::decode(&bytes[..cut]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_kind_byte_is_a_typed_error(u in arb_update(), bad in 5u8..255) {
+        let mut bytes = u.encode().unwrap();
+        bytes[8] = bad;
+        prop_assert_eq!(Update::decode(&bytes), Err(DecodeError::InvalidKind(bad)));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..255, 0..96)) {
+        // Random garbage either happens to parse or reports a typed error;
+        // the decoder must never panic or read out of bounds.
+        let _ = Update::decode(&bytes);
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn frames_round_trip_batches(
+        updates in proptest::collection::vec(arb_update(), 0..12),
+        source in 0u64..u64::MAX,
+    ) {
+        let frame = Frame { source, updates };
+        let bytes = frame.encode().unwrap();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let decoded = Frame::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(decoded.source, source);
+        prop_assert_eq!(decoded.updates.len(), frame.updates.len());
+        for (d, u) in decoded.updates.iter().zip(&frame.updates) {
+            prop_assert_eq!(*d, narrowed(u));
+        }
+    }
+
+    #[test]
+    fn reserved_towards_never_encodes(u in arb_update()) {
+        let mut u = u;
+        u.state.link = Some(LinkId(1));
+        u.state.towards = Some(NodeId(TOWARDS_NONE_WIRE));
+        prop_assert!(u.encode().is_err());
+        prop_assert!(Frame::single(0, u).encode().is_err());
+    }
+}

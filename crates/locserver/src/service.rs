@@ -10,7 +10,7 @@
 
 use crate::config::ServiceConfig;
 use crate::shard::Shard;
-use mbdr_core::{Predictor, Update};
+use mbdr_core::{DecodeError, Frame, Predictor, Update};
 use mbdr_geo::{Aabb, Point};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -65,11 +65,16 @@ impl LocationService {
         self.shards.len()
     }
 
-    /// The shard responsible for `object` (Fibonacci multiplicative hash so
-    /// sequential fleet ids spread evenly over the stripes).
-    fn shard_of(&self, object: ObjectId) -> &Shard {
+    /// Index of the shard responsible for `object` (Fibonacci multiplicative
+    /// hash so sequential fleet ids spread evenly over the stripes).
+    fn shard_index(&self, object: ObjectId) -> usize {
         let h = (object.0 ^ (object.0 >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 32) as usize % self.shards.len()]
+        (h >> 32) as usize % self.shards.len()
+    }
+
+    /// The shard responsible for `object`.
+    fn shard_of(&self, object: ObjectId) -> &Shard {
+        &self.shards[self.shard_index(object)]
     }
 
     /// Registers an object with the prediction function its update protocol
@@ -100,6 +105,69 @@ impl LocationService {
     /// entry. Returns `false` if the object is not registered.
     pub fn apply_update(&self, object: ObjectId, update: &Update) -> bool {
         self.shard_of(object).write(|s| s.apply_update(object, update))
+    }
+
+    /// Ingests a batch of updates, taking each stripe's write lock **once**
+    /// for all of the batch's updates that hash to it instead of once per
+    /// update. Updates are applied in batch order within every shard, so the
+    /// observable service state is identical to calling
+    /// [`LocationService::apply_update`] for each element in order. Returns
+    /// the number of updates applied to registered objects.
+    pub fn apply_batch(&self, batch: &[(ObjectId, Update)]) -> usize {
+        // One allocation for the whole batch: sort (shard, batch index) pairs
+        // so each stripe's updates form a contiguous run, in batch order
+        // (unstable sort is fine — the index makes every key distinct).
+        let mut order: Vec<(usize, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, (object, _))| (self.shard_index(*object), i))
+            .collect();
+        order.sort_unstable();
+        let mut applied = 0;
+        let mut run_start = 0;
+        while run_start < order.len() {
+            let shard_index = order[run_start].0;
+            let run_end = run_start
+                + order[run_start..].iter().take_while(|&&(s, _)| s == shard_index).count();
+            applied += self.shards[shard_index].write(|s| {
+                order[run_start..run_end]
+                    .iter()
+                    .filter(|&&(_, i)| {
+                        let (object, update) = &batch[i];
+                        s.apply_update(*object, update)
+                    })
+                    .count()
+            });
+            run_start = run_end;
+        }
+        applied
+    }
+
+    /// Ingests one decoded wire [`Frame`]: all of its updates belong to the
+    /// source object `ObjectId(frame.source)`, which lives on one shard, so
+    /// the whole frame costs a single write-lock acquisition. Returns the
+    /// number of updates applied (0 when the object is not registered).
+    pub fn apply_frame(&self, frame: &Frame) -> usize {
+        if frame.updates.is_empty() {
+            return 0;
+        }
+        let object = ObjectId(frame.source);
+        self.shard_of(object)
+            .write(|s| frame.updates.iter().filter(|u| s.apply_update(object, u)).count())
+    }
+
+    /// Decodes an encoded frame straight off the wire and ingests it — the
+    /// receive path of the uplink protocol. Truncated or corrupted buffers
+    /// report the codec's typed error instead of touching any shard.
+    pub fn apply_frame_bytes(&self, bytes: &[u8]) -> Result<usize, DecodeError> {
+        Ok(self.apply_frame(&Frame::decode(bytes)?))
+    }
+
+    /// Total write-lock acquisitions across all stripes — a cheap diagnostic
+    /// that makes lock traffic observable (batched ingest takes one per
+    /// stripe per batch; per-update ingest takes one per update).
+    pub fn write_lock_acquisitions(&self) -> u64 {
+        self.shards.iter().map(|s| s.write_acquisitions()).sum()
     }
 
     /// The predicted position of one object at time `t`, or `None` if the
@@ -318,6 +386,98 @@ mod tests {
         let far = Aabb::around(Point::new(1.0e6, 1.0e6), 100.0);
         assert!(s.objects_in_rect(&far, 1.0).is_empty());
         assert_eq!(CALLS.load(Ordering::Relaxed), 0, "no tracker examined for a far-away rect");
+    }
+
+    #[test]
+    fn apply_batch_matches_per_update_ingest_exactly() {
+        // Same randomized update stream into two services — one batched, one
+        // update-at-a-time — must leave bit-identical observable state.
+        let make = |objects: u64| {
+            let s = LocationService::with_config(ServiceConfig::with_shards(8));
+            for i in 0..objects {
+                s.register(ObjectId(i), Arc::new(LinearPredictor));
+            }
+            s
+        };
+        let objects = 24u64;
+        let (batched, reference) = (make(objects), make(objects));
+        let mut stream: Vec<(ObjectId, Update)> = Vec::new();
+        let mut mix = 0x9E3779B97F4A7C15u64;
+        for step in 0..400u64 {
+            mix = mix.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = ObjectId(mix % (objects + 4)); // some ids unregistered
+            let t = (step / 8) as f64;
+            stream.push((
+                id,
+                update(step % 16, t, (mix % 5_000) as f64, (mix % 3_000) as f64, 8.0, 1.0),
+            ));
+        }
+        let mut batch_applied = 0;
+        for chunk in stream.chunks(37) {
+            batch_applied += batched.apply_batch(chunk);
+        }
+        let mut one_applied = 0;
+        for (id, u) in &stream {
+            if reference.apply_update(*id, u) {
+                one_applied += 1;
+            }
+        }
+        assert_eq!(batch_applied, one_applied);
+        assert_eq!(batched.total_updates(), reference.total_updates());
+        assert_eq!(batched.indexed_count(), reference.indexed_count());
+        for i in 0..objects {
+            let (b, r) =
+                (batched.position_of(ObjectId(i), 60.0), reference.position_of(ObjectId(i), 60.0));
+            assert_eq!(b.map(|p| p.position), r.map(|p| p.position), "object {i}");
+        }
+        let area = Aabb::new(Point::new(-1.0, -1.0), Point::new(6_000.0, 6_000.0));
+        assert_eq!(batched.objects_in_rect(&area, 60.0), reference.objects_in_rect(&area, 60.0));
+    }
+
+    #[test]
+    fn apply_batch_takes_each_stripe_lock_once() {
+        let s = LocationService::with_config(ServiceConfig::with_shards(4));
+        for i in 0..16u64 {
+            s.register(ObjectId(i), Arc::new(StaticPredictor));
+        }
+        let batch: Vec<(ObjectId, Update)> = (0..128u64)
+            .map(|i| (ObjectId(i % 16), update(i / 16, (i / 16) as f64, i as f64, 0.0, 0.0, 0.0)))
+            .collect();
+        let before = s.write_lock_acquisitions();
+        assert_eq!(s.apply_batch(&batch), 128);
+        let batched_locks = s.write_lock_acquisitions() - before;
+        assert!(batched_locks <= 4, "one write lock per touched stripe, got {batched_locks}");
+        // The same traffic one update at a time costs one lock per update.
+        let before = s.write_lock_acquisitions();
+        for (id, u) in &batch {
+            s.apply_update(*id, u);
+        }
+        assert_eq!(s.write_lock_acquisitions() - before, 128);
+    }
+
+    #[test]
+    fn apply_frame_ingests_a_decoded_wire_frame_under_one_lock() {
+        use mbdr_core::Frame;
+        let s = LocationService::new();
+        s.register(ObjectId(9), Arc::new(LinearPredictor));
+        let mut frame = Frame::new(9);
+        for i in 0..5u64 {
+            frame.push(update(i, i as f64, 100.0 * i as f64, 0.0, 10.0, 0.0));
+        }
+        let bytes = frame.encode().unwrap();
+        let before = s.write_lock_acquisitions();
+        assert_eq!(s.apply_frame_bytes(&bytes).unwrap(), 5);
+        assert_eq!(s.write_lock_acquisitions() - before, 1, "one frame, one lock");
+        let report = s.position_of(ObjectId(9), 4.0).unwrap();
+        assert!((report.position.x - 400.0).abs() < 1e-6, "newest update wins");
+        // A frame for an unregistered source applies nothing but decodes fine.
+        assert_eq!(
+            s.apply_frame_bytes(&Frame::single(77, frame.updates[0]).encode().unwrap()),
+            Ok(0)
+        );
+        // Corrupted bytes report the codec's typed error without panicking.
+        assert!(s.apply_frame_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert_eq!(s.total_updates(), 5);
     }
 
     #[test]

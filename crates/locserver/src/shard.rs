@@ -28,6 +28,7 @@ use mbdr_spatial::{MovingIndex, SpatialIndex};
 use parking_lot::RwLock;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An object tracked by one shard.
@@ -265,11 +266,15 @@ fn report(object: ObjectId, tracker: &ServerTracker, t: f64) -> Option<PositionR
 /// One lock stripe: a shard's state behind its own reader–writer lock.
 pub(crate) struct Shard {
     state: RwLock<ShardState>,
+    /// Write-lock acquisitions so far — the observable that lets tests (and
+    /// operators) verify batched ingest takes each stripe lock once per
+    /// batch instead of once per update.
+    write_acquisitions: AtomicU64,
 }
 
 impl Shard {
     pub(crate) fn new(config: ServiceConfig) -> Self {
-        Shard { state: RwLock::new(ShardState::new(config)) }
+        Shard { state: RwLock::new(ShardState::new(config)), write_acquisitions: AtomicU64::new(0) }
     }
 
     /// Shared access for queries at time `t`, lazily re-growing expired index
@@ -281,6 +286,7 @@ impl Shard {
                 return f(&state);
             }
         }
+        self.write_acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.write();
         state.refresh_expired(t);
         f(&state)
@@ -293,6 +299,12 @@ impl Shard {
 
     /// Exclusive access for mutations.
     pub(crate) fn write<R>(&self, f: impl FnOnce(&mut ShardState) -> R) -> R {
+        self.write_acquisitions.fetch_add(1, Ordering::Relaxed);
         f(&mut self.state.write())
+    }
+
+    /// Number of write-lock acquisitions so far.
+    pub(crate) fn write_acquisitions(&self) -> u64 {
+        self.write_acquisitions.load(Ordering::Relaxed)
     }
 }

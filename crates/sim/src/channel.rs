@@ -1,38 +1,106 @@
 //! The message channel between source and server.
 //!
 //! The paper's motivation is the cost of wide-area wireless messages, so the
-//! simulator accounts for every update shipped: message count, payload bytes,
-//! and (optionally) a fixed delivery latency so that the server applies an
-//! update slightly after the source sent it — the situation a GSM/GPRS uplink
-//! creates in practice.
+//! simulator accounts for every payload shipped: message count, payload
+//! bytes, and (optionally) a fixed delivery latency so that the server
+//! applies an update slightly after the source sent it — the situation a
+//! GSM/GPRS uplink creates in practice.
+//!
+//! The channel is generic over what it carries ([`WirePayload`]): protocol
+//! runs ship [`Update`]s directly, while the lossy-link model
+//! ([`crate::degraded`]) ships encoded [`Frame`] bytes. Deliveries come out
+//! in *arrival-time* order — with a fixed latency that equals send order, but
+//! [`MessageChannel::send_delayed`] lets a caller add per-message delay
+//! (jitter), in which case later sends can overtake earlier ones exactly as
+//! on a real packet link.
 
-use mbdr_core::Update;
+use mbdr_core::{Frame, Update};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Accumulated traffic statistics of a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ChannelStats {
-    /// Number of update messages sent.
+    /// Number of messages sent.
     pub messages: u64,
     /// Total payload bytes sent.
     pub payload_bytes: u64,
 }
 
-/// A unidirectional source→server channel with fixed latency and per-message
-/// accounting.
+/// Anything the channel can carry and charge for: the payload knows the wire
+/// bytes it occupies.
+pub trait WirePayload {
+    /// Bytes this payload occupies on the wire.
+    fn wire_len(&self) -> usize;
+}
+
+impl WirePayload for Update {
+    fn wire_len(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl WirePayload for Frame {
+    fn wire_len(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl WirePayload for Vec<u8> {
+    fn wire_len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// One queued message (min-heap by arrival time, ties broken by send order).
 #[derive(Debug, Clone)]
-pub struct MessageChannel {
+struct InFlight<T> {
+    arrival: f64,
+    sent_index: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for InFlight<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival.total_cmp(&other.arrival).is_eq() && self.sent_index == other.sent_index
+    }
+}
+
+impl<T> Eq for InFlight<T> {}
+
+impl<T> Ord for InFlight<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.arrival.total_cmp(&other.arrival).then(self.sent_index.cmp(&other.sent_index))
+    }
+}
+
+impl<T> PartialOrd for InFlight<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A unidirectional source→server channel with per-message accounting, a
+/// fixed base latency and optional per-message extra delay.
+#[derive(Debug, Clone)]
+pub struct MessageChannel<T = Update> {
     latency: f64,
-    in_flight: VecDeque<(f64, Update)>,
+    next_index: u64,
+    in_flight: BinaryHeap<Reverse<InFlight<T>>>,
     stats: ChannelStats,
 }
 
-impl MessageChannel {
+impl<T: WirePayload> MessageChannel<T> {
     /// Creates a channel with the given one-way latency in seconds.
     pub fn new(latency: f64) -> Self {
         assert!(latency >= 0.0);
-        MessageChannel { latency, in_flight: VecDeque::new(), stats: ChannelStats::default() }
+        MessageChannel {
+            latency,
+            next_index: 0,
+            in_flight: BinaryHeap::new(),
+            stats: ChannelStats::default(),
+        }
     }
 
     /// An ideal, zero-latency channel (what the paper's simulation assumes).
@@ -45,19 +113,35 @@ impl MessageChannel {
         self.latency
     }
 
-    /// Sends an update at time `sent_at`.
-    pub fn send(&mut self, sent_at: f64, update: Update) {
-        self.stats.messages += 1;
-        self.stats.payload_bytes += update.encoded_len() as u64;
-        self.in_flight.push_back((sent_at + self.latency, update));
+    /// Sends a payload at time `sent_at`.
+    pub fn send(&mut self, sent_at: f64, payload: T) {
+        self.send_delayed(sent_at, 0.0, payload);
     }
 
-    /// Delivers every update whose arrival time is ≤ `now`, in order.
-    pub fn deliver_until(&mut self, now: f64) -> Vec<Update> {
+    /// Sends a payload at time `sent_at` with `extra_delay` seconds added on
+    /// top of the base latency (per-message jitter). Messages with enough
+    /// extra delay arrive after — and are delivered after — later sends.
+    pub fn send_delayed(&mut self, sent_at: f64, extra_delay: f64, payload: T) {
+        assert!(extra_delay >= 0.0);
+        self.stats.messages += 1;
+        self.stats.payload_bytes += payload.wire_len() as u64;
+        let message = InFlight {
+            arrival: sent_at + self.latency + extra_delay,
+            sent_index: self.next_index,
+            payload,
+        };
+        self.next_index += 1;
+        self.in_flight.push(Reverse(message));
+    }
+
+    /// Delivers every payload whose arrival time is ≤ `now`, in arrival
+    /// order (send order breaks ties).
+    pub fn deliver_until(&mut self, now: f64) -> Vec<T> {
         let mut out = Vec::new();
-        while let Some(&(arrival, _)) = self.in_flight.front() {
-            if arrival <= now + 1e-9 {
-                out.push(self.in_flight.pop_front().expect("front exists").1);
+        while let Some(Reverse(front)) = self.in_flight.peek() {
+            if front.arrival <= now + 1e-9 {
+                let Reverse(message) = self.in_flight.pop().expect("peeked");
+                out.push(message.payload);
             } else {
                 break;
             }
@@ -65,7 +149,7 @@ impl MessageChannel {
         out
     }
 
-    /// Number of updates currently in flight.
+    /// Number of payloads currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
     }
@@ -122,5 +206,34 @@ mod tests {
         let second = c.deliver_until(10.0);
         assert_eq!(second.iter().map(|u| u.sequence).collect::<Vec<_>>(), vec![2]);
         assert_eq!(c.stats().messages, 3);
+    }
+
+    #[test]
+    fn extra_delay_lets_later_sends_overtake() {
+        let mut c = MessageChannel::new(1.0);
+        c.send_delayed(0.0, 5.0, update(0)); // arrives at t = 6
+        c.send(0.5, update(1)); // arrives at t = 1.5
+        let early = c.deliver_until(2.0);
+        assert_eq!(early.iter().map(|u| u.sequence).collect::<Vec<_>>(), vec![1]);
+        let late = c.deliver_until(10.0);
+        assert_eq!(late.iter().map(|u| u.sequence).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn byte_payloads_are_charged_by_length() {
+        let mut c: MessageChannel<Vec<u8>> = MessageChannel::new(0.0);
+        c.send(0.0, vec![0u8; 42]);
+        c.send(0.0, vec![0u8; 10]);
+        assert_eq!(c.stats().payload_bytes, 52);
+        assert_eq!(c.deliver_until(0.0).len(), 2);
+    }
+
+    #[test]
+    fn equal_arrivals_deliver_in_send_order() {
+        let mut c = MessageChannel::new(1.0);
+        c.send_delayed(0.0, 1.0, update(0)); // arrives at t = 2
+        c.send(1.0, update(1)); // arrives at t = 2 as well
+        let both = c.deliver_until(2.0);
+        assert_eq!(both.iter().map(|u| u.sequence).collect::<Vec<_>>(), vec![0, 1]);
     }
 }

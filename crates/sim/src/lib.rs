@@ -14,6 +14,12 @@
 //! * [`sweep`] — the experiment driver: a grid of (scenario × protocol ×
 //!   requested accuracy) runs, executed in parallel with crossbeam scoped
 //!   threads, producing the data behind Figures 7–10.
+//! * [`degraded`] — the lossy-link channel model: a [`channel::MessageChannel`]
+//!   carrying encoded frames that are dropped, duplicated, jittered and
+//!   reordered under a seeded RNG, with per-cause statistics.
+//! * [`lossy`] — the loss-rate sweep over the degraded link: encode → channel
+//!   → decode → apply, reporting accuracy degradation and message overhead as
+//!   functions of the loss rate (`reproduce wire` emits its JSON baseline).
 //! * [`fleet`] — many objects tracked concurrently against one shared map
 //!   (the location-service workload of the paper's introduction).
 //! * [`service_workload`] — the whole fleet replayed against one shared,
@@ -27,7 +33,9 @@
 #![deny(unsafe_code)]
 
 pub mod channel;
+pub mod degraded;
 pub mod fleet;
+pub mod lossy;
 pub mod metrics;
 pub mod protocols;
 pub mod report;
@@ -35,8 +43,10 @@ pub mod runner;
 pub mod service_workload;
 pub mod sweep;
 
-pub use channel::MessageChannel;
+pub use channel::{MessageChannel, WirePayload};
+pub use degraded::{DegradedChannel, LinkConfig, LinkStats};
 pub use fleet::{FleetConfig, FleetResult};
+pub use lossy::{run_loss_sweep, LossPoint, LossSweepConfig, LossSweepResult};
 pub use metrics::{DeviationStats, RunMetrics};
 pub use protocols::ProtocolKind;
 pub use report::{render_csv, render_json, render_table};

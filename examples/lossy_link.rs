@@ -1,0 +1,61 @@
+//! Lossy link: what happens to the accuracy guarantee when the GSM/GPRS
+//! uplink actually loses, duplicates, jitters and reorders frames.
+//!
+//! ```text
+//! cargo run --release -p mbdr-examples --example lossy_link
+//! ```
+//!
+//! Every update the map-based protocol sends is *encoded* into a wire frame,
+//! shipped through a degraded channel, and *decoded* at the server before it
+//! is applied — the full wire loop. The sweep shows accuracy degrading and
+//! the cost per applied update growing monotonically with the loss rate.
+
+use mbdr_sim::{run_loss_sweep, LinkConfig, LossSweepConfig, ProtocolKind};
+use mbdr_trace::ScenarioKind;
+
+fn main() {
+    let config = LossSweepConfig {
+        scenario: ScenarioKind::City,
+        scale: 0.2,
+        seed: 42,
+        protocol: ProtocolKind::MapBased,
+        requested_accuracy: 100.0,
+        loss_rates: vec![0.0, 0.05, 0.1, 0.2, 0.35, 0.5],
+        link: LinkConfig::gprs(42),
+    };
+    let result = run_loss_sweep(&config);
+
+    println!(
+        "scenario : {} — {} at u_s = {:.0} m, {} updates sent",
+        result.scenario, result.protocol, result.requested_accuracy, result.updates_sent
+    );
+    println!(
+        "link     : {:.1} s latency, {:.1} s jitter, {:.0}% duplicates, {:.0}% reordered",
+        config.link.latency_s,
+        config.link.jitter_s,
+        config.link.duplicate * 100.0,
+        config.link.reorder * 100.0
+    );
+    println!();
+    println!(
+        "{:>6} {:>10} {:>9} {:>12} {:>12} {:>12} {:>11}",
+        "loss", "delivered", "applied", "mean dev[m]", "p95 dev[m]", "max dev[m]", "bytes/appl"
+    );
+    for p in &result.points {
+        println!(
+            "{:>5.0}% {:>9.1}% {:>9} {:>12.1} {:>12.1} {:>12.1} {:>11.0}",
+            p.loss_rate * 100.0,
+            p.delivered_ratio * 100.0,
+            p.updates_applied,
+            p.deviation.mean,
+            p.deviation.p95,
+            p.deviation.max,
+            p.bytes_per_applied_update,
+        );
+    }
+    println!();
+    println!("Loss fates are nested under one seed (a frame lost at 5% is also lost at 50%),");
+    println!("so the degradation is monotone in the loss rate by construction, not by luck:");
+    println!("the server predicts from ever-staler anchors while the radio keeps paying for");
+    println!("every transmitted frame — delivered or not.");
+}
