@@ -1,0 +1,78 @@
+//! Criterion micro-benches of the TCP serving layer over loopback: the
+//! ingest round trip (frame encode → socket → decode → sharded apply →
+//! flush barrier) and the two motivating queries as full request–response
+//! round trips, next to the in-process calls they wrap so the network tax
+//! stays visible.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mbdr_core::{Frame, LinearPredictor, ObjectState, Update, UpdateKind};
+use mbdr_geo::{Aabb, Point};
+use mbdr_locserver::{LocationService, ObjectId, ServiceConfig};
+use mbdr_net::{NetClient, NetServer, ServerConfig};
+use std::sync::Arc;
+
+const OBJECTS: u64 = 256;
+
+fn update_for(object: u64, step: u64) -> Update {
+    let phase = (object * 37 + step * 11) % 8_000;
+    Update {
+        sequence: step,
+        state: ObjectState::basic(
+            Point::new((object * 16 % 8_000) as f64, phase as f64),
+            12.0,
+            (object % 6) as f64,
+            step as f64,
+        ),
+        kind: UpdateKind::DeviationBound,
+    }
+}
+
+fn populated_server() -> NetServer {
+    let service = Arc::new(LocationService::with_config(ServiceConfig::with_shards(16)));
+    for object in 0..OBJECTS {
+        service.register(ObjectId(object), Arc::new(LinearPredictor));
+        service.apply_update(ObjectId(object), &update_for(object, 0));
+    }
+    NetServer::bind(service, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback")
+}
+
+fn bench_net(c: &mut Criterion) {
+    let server = populated_server();
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let service = Arc::clone(server.service());
+
+    let mut group = c.benchmark_group("net_serving_layer");
+    group.bench_function("ingest_16_update_frame_with_flush", |b| {
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            let mut frame = Frame::new(step % OBJECTS);
+            for i in 0..16u64 {
+                frame.push(update_for(frame.source, step * 16 + i));
+            }
+            client.send_frame(&frame).expect("send");
+            client.flush().expect("flush").updates_applied
+        })
+    });
+    group.bench_function("rect_query_roundtrip", |b| {
+        let area = Aabb::around(Point::new(4_000.0, 4_000.0), 600.0);
+        b.iter(|| black_box(client.objects_in_rect(&area, 1.0).expect("rect")).len())
+    });
+    group.bench_function("rect_query_in_process", |b| {
+        let area = Aabb::around(Point::new(4_000.0, 4_000.0), 600.0);
+        b.iter(|| black_box(service.objects_in_rect(&area, 1.0)).len())
+    });
+    group.bench_function("nearest_5_roundtrip", |b| {
+        b.iter(|| {
+            black_box(client.nearest_objects(&Point::new(4_000.0, 4_000.0), 1.0, 5))
+                .expect("nearest")
+                .len()
+        })
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

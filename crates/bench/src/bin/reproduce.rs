@@ -1,5 +1,5 @@
 //! `reproduce` — regenerate every table and figure of the paper, plus the
-//! post-paper perf baselines.
+//! post-paper perf baselines, with a built-in regression gate.
 //!
 //! ```text
 //! cargo run --release -p mbdr-bench --bin reproduce -- all --scale 1.0
@@ -10,12 +10,26 @@
 //! cargo run --release -p mbdr-bench --bin reproduce -- ablations --scale 0.25
 //! cargo run --release -p mbdr-bench --bin reproduce -- throughput --scale 0.02
 //! cargo run --release -p mbdr-bench --bin reproduce -- wire --scale 0.1
+//! cargo run --release -p mbdr-bench --bin reproduce -- net --scale 0.05
+//! cargo run --release -p mbdr-bench --bin reproduce -- json --scale 0.05 --check
+//! cargo run --release -p mbdr-bench --bin reproduce -- net --scale 0.05 --write-baseline
 //! ```
 //!
 //! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
 //! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
-//! figure data as CSV instead of a table.
+//! figure data as CSV instead of a table. For the JSON-emitting commands
+//! (`json`, `throughput`, `wire`, `net`), `--check` compares the fresh
+//! output against the committed `baselines/BENCH_<cmd>.json` with per-metric
+//! tolerances and exits non-zero on regression, `--write-baseline`
+//! (re)generates that file, and `--baseline-dir` overrides the directory.
+//! The document itself always goes to stdout, so CI can archive it while
+//! gating on the exit code.
+//!
+//! Every flag is parsed in one place and every unknown command or argument
+//! dies with usage and a non-zero exit — there is exactly one parser.
 
+use mbdr_bench::check::{compare_baseline, parse_json};
+use mbdr_bench::netbase::{net_grid, render_net_json};
 use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
 use mbdr_bench::wire::wire_baseline;
 use mbdr_bench::{
@@ -25,19 +39,81 @@ use mbdr_bench::{
 use mbdr_geo::format_duration_hm;
 use mbdr_sim::{render_csv, render_json, render_table, ProtocolKind};
 use mbdr_trace::ScenarioKind;
+use std::path::PathBuf;
 use std::time::Instant;
 
+/// Every subcommand, validated at parse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Table1,
+    Fig(ScenarioKind),
+    Figures,
+    Summary,
+    UpdatesTrace,
+    Ablations,
+    Json,
+    Throughput,
+    Wire,
+    Net,
+    All,
+}
+
+impl Command {
+    /// The single place a command name is recognised.
+    fn parse(name: &str) -> Option<Command> {
+        Some(match name {
+            "table1" => Command::Table1,
+            "fig7" => Command::Fig(ScenarioKind::Freeway),
+            "fig8" => Command::Fig(ScenarioKind::Interurban),
+            "fig9" => Command::Fig(ScenarioKind::City),
+            "fig10" => Command::Fig(ScenarioKind::Walking),
+            "figures" => Command::Figures,
+            "summary" => Command::Summary,
+            "updates-trace" => Command::UpdatesTrace,
+            "ablations" => Command::Ablations,
+            "json" => Command::Json,
+            "throughput" => Command::Throughput,
+            "wire" => Command::Wire,
+            "net" => Command::Net,
+            "all" => Command::All,
+            _ => return None,
+        })
+    }
+
+    /// The baseline file name for the JSON-emitting commands, `None` for the
+    /// human-readable ones (which have no baseline to check against).
+    fn baseline_file(self) -> Option<&'static str> {
+        Some(match self {
+            Command::Json => "BENCH_json.json",
+            Command::Throughput => "BENCH_throughput.json",
+            Command::Wire => "BENCH_wire.json",
+            Command::Net => "BENCH_net.json",
+            _ => return None,
+        })
+    }
+}
+
 struct Options {
-    command: String,
+    command: Command,
     scale: f64,
     seed: u64,
     csv: bool,
+    check: bool,
+    write_baseline: bool,
+    baseline_dir: PathBuf,
 }
 
 fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
-    let mut options =
-        Options { command: String::from("all"), scale: 1.0, seed: DEFAULT_SEED, csv: false };
+    let mut options = Options {
+        command: Command::All,
+        scale: 1.0,
+        seed: DEFAULT_SEED,
+        csv: false,
+        check: false,
+        write_baseline: false,
+        baseline_dir: PathBuf::from("baselines"),
+    };
     let mut positional_seen = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,16 +130,34 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--csv" => options.csv = true,
+            "--check" => options.check = true,
+            "--write-baseline" => options.write_baseline = true,
+            "--baseline-dir" => {
+                options.baseline_dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| die("--baseline-dir needs a path"));
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
             }
             other if !positional_seen => {
-                options.command = other.to_string();
+                options.command = Command::parse(other)
+                    .unwrap_or_else(|| die(&format!("unknown command `{other}`")));
                 positional_seen = true;
             }
             other => die(&format!("unexpected argument `{other}`")),
         }
+    }
+    if !(options.scale > 0.0 && options.scale <= 1.0) {
+        die("--scale must be in (0, 1]");
+    }
+    if options.check && options.write_baseline {
+        die("--check and --write-baseline are mutually exclusive");
+    }
+    if (options.check || options.write_baseline) && options.command.baseline_file().is_none() {
+        die("--check/--write-baseline only apply to the JSON commands (json|throughput|wire|net)");
     }
     options
 }
@@ -77,7 +171,8 @@ fn die(message: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|wire|all] [--scale F] [--seed N] [--csv]"
+         json|throughput|wire|net|all]\n       [--scale F] [--seed N] [--csv] [--check] \
+         [--write-baseline] [--baseline-dir DIR]"
     );
 }
 
@@ -85,7 +180,7 @@ fn print_usage() {
 /// seed, and per figure the sweep data (update counts per protocol and
 /// accuracy) plus the wall-clock time the sweep took. This is the perf and
 /// regression baseline future changes are compared against.
-fn print_json_baseline(scale: f64, seed: u64) {
+fn json_baseline(scale: f64, seed: u64) -> String {
     let mut out = String::from("{\"schema\":\"mbdr-reproduce/1\"");
     out.push_str(&format!(",\"scale\":{scale},\"seed\":{seed},\"figures\":["));
     for (i, &kind) in ScenarioKind::ALL.iter().enumerate() {
@@ -103,7 +198,78 @@ fn print_json_baseline(scale: f64, seed: u64) {
         ));
     }
     out.push_str("]}");
-    println!("{out}");
+    out
+}
+
+/// The JSON document for one of the baseline commands.
+fn baseline_json(command: Command, scale: f64, seed: u64) -> String {
+    match command {
+        Command::Json => json_baseline(scale, seed),
+        Command::Throughput => render_throughput_json(scale, seed, &throughput_grid(scale, seed)),
+        Command::Wire => wire_baseline(scale, seed).to_json(),
+        Command::Net => render_net_json(scale, seed, &net_grid(scale, seed)),
+        _ => unreachable!("parse_args only routes JSON commands here"),
+    }
+}
+
+/// Runs a JSON command, optionally checking against or (re)writing its
+/// committed baseline. The fresh document always goes to stdout.
+fn run_json_command(options: &Options) {
+    let current = baseline_json(options.command, options.scale, options.seed);
+    println!("{current}");
+    let file = options.command.baseline_file().expect("JSON command");
+    let path = options.baseline_dir.join(file);
+    if options.write_baseline {
+        if let Err(e) = std::fs::create_dir_all(&options.baseline_dir) {
+            eprintln!("error: cannot create {}: {e}", options.baseline_dir.display());
+            std::process::exit(1);
+        }
+        let mut contents = current;
+        contents.push('\n');
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("baseline written to {}", path.display());
+    } else if options.check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "error: cannot read baseline {}: {e}\n(generate it with `reproduce {} --scale \
+                     {} --write-baseline`)",
+                    path.display(),
+                    file.trim_start_matches("BENCH_").trim_end_matches(".json"),
+                    options.scale,
+                );
+                std::process::exit(1);
+            }
+        };
+        let baseline = parse_json(&committed)
+            .unwrap_or_else(|e| fail_check(&path, &format!("baseline is not valid JSON: {e}")));
+        let fresh = parse_json(&current)
+            .unwrap_or_else(|e| fail_check(&path, &format!("fresh output is not valid JSON: {e}")));
+        let report = compare_baseline(&baseline, &fresh);
+        if report.passed() {
+            eprintln!(
+                "check OK against {}: {} strict metrics matched, {} sanity-checked",
+                path.display(),
+                report.strict_compared,
+                report.sanity_checked,
+            );
+        } else {
+            eprintln!("regression check FAILED against {}:", path.display());
+            for mismatch in &report.mismatches {
+                eprintln!("  {mismatch}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn fail_check(path: &std::path::Path, message: &str) -> ! {
+    eprintln!("error: {}: {message}", path.display());
+    std::process::exit(1);
 }
 
 fn print_table1(scale: f64, seed: u64) {
@@ -185,20 +351,6 @@ fn print_updates_trace(scale: f64, seed: u64) {
     println!();
 }
 
-/// Emits the concurrent service-workload sweep (objects × shards × query mix
-/// × ingest mode → updates/s, queries/s, query-observed accuracy) as one JSON
-/// document — the sharded location service's perf baseline.
-fn print_throughput(scale: f64, seed: u64) {
-    let reports = throughput_grid(scale, seed);
-    println!("{}", render_throughput_json(scale, seed, &reports));
-}
-
-/// Emits the lossy-link sweep (loss rate → delivery, accuracy degradation,
-/// message overhead) as one JSON document — the wire protocol's baseline.
-fn print_wire(scale: f64, seed: u64) {
-    println!("{}", wire_baseline(scale, seed).to_json());
-}
-
 fn print_ablations(scale: f64, seed: u64, csv: bool) {
     for ablation in ablations(scale, seed) {
         println!("== Ablation: {} ==", ablation.name);
@@ -222,27 +374,21 @@ fn print_ablations(scale: f64, seed: u64, csv: bool) {
 
 fn main() {
     let options = parse_args();
-    if !(options.scale > 0.0 && options.scale <= 1.0) {
-        die("--scale must be in (0, 1]");
-    }
-    match options.command.as_str() {
-        "table1" => print_table1(options.scale, options.seed),
-        "fig7" => print_figure(ScenarioKind::Freeway, options.scale, options.seed, options.csv),
-        "fig8" => print_figure(ScenarioKind::Interurban, options.scale, options.seed, options.csv),
-        "fig9" => print_figure(ScenarioKind::City, options.scale, options.seed, options.csv),
-        "fig10" => print_figure(ScenarioKind::Walking, options.scale, options.seed, options.csv),
-        "figures" => {
+    match options.command {
+        Command::Table1 => print_table1(options.scale, options.seed),
+        Command::Fig(kind) => print_figure(kind, options.scale, options.seed, options.csv),
+        Command::Figures => {
             for kind in ScenarioKind::ALL {
                 print_figure(kind, options.scale, options.seed, options.csv);
             }
         }
-        "summary" => print_summary(options.scale, options.seed),
-        "json" => print_json_baseline(options.scale, options.seed),
-        "throughput" => print_throughput(options.scale, options.seed),
-        "wire" => print_wire(options.scale, options.seed),
-        "updates-trace" => print_updates_trace(options.scale, options.seed),
-        "ablations" => print_ablations(options.scale, options.seed, options.csv),
-        "all" => {
+        Command::Summary => print_summary(options.scale, options.seed),
+        Command::UpdatesTrace => print_updates_trace(options.scale, options.seed),
+        Command::Ablations => print_ablations(options.scale, options.seed, options.csv),
+        Command::Json | Command::Throughput | Command::Wire | Command::Net => {
+            run_json_command(&options)
+        }
+        Command::All => {
             print_table1(options.scale, options.seed);
             for kind in ScenarioKind::ALL {
                 print_figure(kind, options.scale, options.seed, options.csv);
@@ -251,6 +397,5 @@ fn main() {
             print_updates_trace(options.scale, options.seed);
             print_ablations(options.scale, options.seed, options.csv);
         }
-        other => die(&format!("unknown command `{other}`")),
     }
 }

@@ -1,0 +1,491 @@
+//! The regression gate behind `reproduce <cmd> --check`: a dependency-free
+//! JSON parser plus a baseline comparator with per-metric tolerances.
+//!
+//! The baselines (`baselines/BENCH_<cmd>.json`) are committed outputs of the
+//! JSON-emitting reproduce commands at CI's smoke scales. A check run
+//! regenerates the document and walks both trees in parallel:
+//!
+//! * **strict** metrics — counts, config echoes, byte totals, the
+//!   single-threaded deviation sweeps — must match the baseline to within a
+//!   tiny relative tolerance (they are fully determined by the seed);
+//! * **timing** metrics (wall clocks, throughputs, latencies) are machine-
+//!   dependent: they are only required to be finite and non-negative (a
+//!   sub-resolution wall clock legitimately renders as zero);
+//! * **loose** metrics (anything under an `accuracy` object, and the query
+//!   result counts of the thread-skewed in-process workload) depend on
+//!   thread interleaving: they are only required to be finite and
+//!   non-negative.
+//!
+//! Any structural difference — missing key, extra key, array length change,
+//! schema string change — fails the check outright: schema evolution must go
+//! through `--write-baseline`, not slip past the gate.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (only what the baselines need — no escapes beyond
+/// `\"` and `\\` ever appear in the hand-written documents).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`; the baselines stay far below 2^53).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Returns a message with the byte offset on
+/// malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing content at byte {at}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && bytes[*at].is_ascii_whitespace() {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*at) == Some(&byte) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {at}", byte as char, at = *at))
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        Some(b'{') => parse_object(bytes, at),
+        Some(b'[') => parse_array(bytes, at),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, at)?)),
+        Some(b't') => parse_literal(bytes, at, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, at, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, at, "null", Json::Null),
+        Some(_) => parse_number(bytes, at),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], at: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*at..].starts_with(word.as_bytes()) {
+        *at += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {at}", at = *at))
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    let start = *at;
+    while *at < bytes.len() && matches!(bytes[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *at += 1;
+    }
+    std::str::from_utf8(&bytes[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(bytes, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                let escaped = *bytes.get(*at + 1).ok_or("unterminated escape")?;
+                match escaped {
+                    b'"' | b'\\' | b'/' => out.push(escaped as char),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                }
+                *at += 2;
+            }
+            Some(&b) => {
+                // The baselines are ASCII, but pass UTF-8 bytes through so a
+                // future label does not break the parser.
+                out.push(b as char);
+                *at += 1;
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    expect(bytes, at, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, at)?);
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {at}", at = *at)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    expect(bytes, at, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, at);
+        let key = parse_string(bytes, at)?;
+        skip_ws(bytes, at);
+        expect(bytes, at, b':')?;
+        fields.push((key, parse_value(bytes, at)?));
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {at}", at = *at)),
+        }
+    }
+}
+
+/// How a numeric leaf is judged against its baseline value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricClass {
+    /// Deterministic for a fixed seed: relative tolerance `1e-6`.
+    Strict,
+    /// Machine-dependent wall clock / rate: finite and non-negative.
+    Timing,
+    /// Thread-interleaving-dependent: finite and non-negative.
+    Loose,
+}
+
+/// Wall-clock and rate metrics, judged by name wherever they appear.
+const TIMING_KEYS: [&str; 9] = [
+    "wall_ms",
+    "ingest_wall_s",
+    "query_wall_s",
+    "updates_per_sec",
+    "queries_per_sec",
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "p50_ms",
+    "p99_ms",
+];
+
+/// Query result counts whose determinism depends on the document: in the
+/// in-process throughput workload they depend on producer/query thread skew
+/// (loose), while the TCP workload pins its query instant to one post-flush
+/// moment, making them fully seed-determined (strict).
+const SKEW_DEPENDENT_KEYS: [&str; 3] = ["rect_results", "nearest_results", "zone_events"];
+
+fn classify(path: &[String], skewed_results: bool) -> MetricClass {
+    let last = path.last().map(String::as_str).unwrap_or("");
+    // Everything under the thread-skewed `accuracy` object is loose; the
+    // single-threaded `deviation` sweeps stay strict.
+    if path.iter().any(|segment| segment == "accuracy") {
+        return MetricClass::Loose;
+    }
+    if TIMING_KEYS.contains(&last) {
+        return MetricClass::Timing;
+    }
+    if skewed_results && SKEW_DEPENDENT_KEYS.contains(&last) {
+        return MetricClass::Loose;
+    }
+    MetricClass::Strict
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Human-readable mismatch descriptions (empty means the check passed).
+    pub mismatches: Vec<String>,
+    /// Leaves compared strictly.
+    pub strict_compared: usize,
+    /// Leaves only sanity-checked (timing + loose).
+    pub sanity_checked: usize,
+}
+
+impl CheckReport {
+    /// Whether the current document is within tolerance of the baseline.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    fn fail(&mut self, path: &[String], message: String) {
+        let mut where_ = String::new();
+        for (i, segment) in path.iter().enumerate() {
+            if i > 0 {
+                where_.push('.');
+            }
+            let _ = write!(where_, "{segment}");
+        }
+        if where_.is_empty() {
+            where_.push_str("<root>");
+        }
+        self.mismatches.push(format!("{where_}: {message}"));
+    }
+}
+
+/// Compares a freshly generated document against its committed baseline.
+pub fn compare_baseline(baseline: &Json, current: &Json) -> CheckReport {
+    // Whether this document's query-result counts are thread-skew dependent
+    // (see SKEW_DEPENDENT_KEYS): true for the in-process throughput
+    // workload, false for the pinned-instant TCP workload, whose result
+    // counts are gated strictly.
+    let skewed_results = !matches!(baseline.get("schema"), Some(Json::Str(s)) if s == "mbdr-net/1");
+    let mut report = CheckReport::default();
+    walk(baseline, current, &mut Vec::new(), skewed_results, &mut report);
+    report
+}
+
+fn walk(
+    baseline: &Json,
+    current: &Json,
+    path: &mut Vec<String>,
+    skewed_results: bool,
+    report: &mut CheckReport,
+) {
+    match (baseline, current) {
+        (Json::Obj(base_fields), Json::Obj(cur_fields)) => {
+            for (key, base_value) in base_fields {
+                match current.get(key) {
+                    Some(cur_value) => {
+                        path.push(key.clone());
+                        walk(base_value, cur_value, path, skewed_results, report);
+                        path.pop();
+                    }
+                    None => report.fail(path, format!("key `{key}` missing from current output")),
+                }
+            }
+            for (key, _) in cur_fields {
+                if baseline.get(key).is_none() {
+                    report.fail(
+                        path,
+                        format!(
+                            "new key `{key}` not in the baseline (regenerate it with \
+                             --write-baseline)"
+                        ),
+                    );
+                }
+            }
+        }
+        (Json::Arr(base_items), Json::Arr(cur_items)) => {
+            if base_items.len() != cur_items.len() {
+                report.fail(
+                    path,
+                    format!("array length {} != baseline {}", cur_items.len(), base_items.len()),
+                );
+                return;
+            }
+            for (i, (b, c)) in base_items.iter().zip(cur_items).enumerate() {
+                path.push(format!("[{i}]"));
+                walk(b, c, path, skewed_results, report);
+                path.pop();
+            }
+        }
+        (Json::Num(base), Json::Num(cur)) => {
+            compare_number(*base, *cur, path, skewed_results, report)
+        }
+        (Json::Str(base), Json::Str(cur)) => {
+            if base != cur {
+                report.fail(path, format!("`{cur}` != baseline `{base}`"));
+            } else {
+                report.strict_compared += 1;
+            }
+        }
+        (Json::Bool(base), Json::Bool(cur)) => {
+            if base != cur {
+                report.fail(path, format!("{cur} != baseline {base}"));
+            } else {
+                report.strict_compared += 1;
+            }
+        }
+        (Json::Null, Json::Null) => report.strict_compared += 1,
+        // `null` legitimately alternates with numbers only for metrics that
+        // are loose or timing (e.g. bytes-per-applied-update at total loss);
+        // sanity-check the numeric side and accept.
+        (Json::Null, Json::Num(cur)) | (Json::Num(cur), Json::Null)
+            if classify(path, skewed_results) != MetricClass::Strict =>
+        {
+            if cur.is_finite() {
+                report.sanity_checked += 1;
+            } else {
+                report.fail(path, format!("{cur} is not finite"));
+            }
+        }
+        _ => report.fail(path, "value kind differs from the baseline".into()),
+    }
+}
+
+fn compare_number(
+    base: f64,
+    cur: f64,
+    path: &[String],
+    skewed_results: bool,
+    report: &mut CheckReport,
+) {
+    match classify(path, skewed_results) {
+        MetricClass::Strict => {
+            let tolerance = 1e-9f64.max(1e-6 * base.abs().max(cur.abs()));
+            if (base - cur).abs() <= tolerance {
+                report.strict_compared += 1;
+            } else {
+                report.fail(path, format!("{cur} != baseline {base} (tolerance {tolerance:.2e})"));
+            }
+        }
+        MetricClass::Timing => {
+            // Not `> 0`: sub-resolution wall clocks legitimately render as
+            // 0.0000 on a fast machine.
+            if cur.is_finite() && cur >= 0.0 {
+                report.sanity_checked += 1;
+            } else {
+                report
+                    .fail(path, format!("timing metric {cur} is not a non-negative finite number"));
+            }
+        }
+        MetricClass::Loose => {
+            if cur.is_finite() && cur >= 0.0 {
+                report.sanity_checked += 1;
+            } else {
+                report.fail(path, format!("{cur} is not a non-negative finite number"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{"schema":"mbdr-x/1","scale":0.05,"points":[
+        {"updates_sent":120,"wall_ms":15.2,"rect_results":44,
+         "accuracy":{"samples":10,"mean_m":3.5},"deviation":{"mean_m":2.0},
+         "label":"a b","flag":true,"nothing":null}]}"#;
+
+    #[test]
+    fn parser_round_trips_the_baseline_shapes() {
+        let doc = parse_json(DOC).unwrap();
+        assert_eq!(doc.get("schema"), Some(&Json::Str("mbdr-x/1".into())));
+        let Some(Json::Arr(points)) = doc.get("points") else { panic!("points array") };
+        assert_eq!(points[0].get("updates_sent"), Some(&Json::Num(120.0)));
+        assert_eq!(points[0].get("flag"), Some(&Json::Bool(true)));
+        assert_eq!(points[0].get("nothing"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_positions() {
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = parse_json(DOC).unwrap();
+        let report = compare_baseline(&doc, &doc);
+        assert!(report.passed(), "{:?}", report.mismatches);
+        assert!(report.strict_compared >= 5);
+        assert!(report.sanity_checked >= 3, "wall_ms, rect_results, accuracy.*");
+    }
+
+    #[test]
+    fn strict_drift_fails_but_timing_and_loose_drift_do_not() {
+        let baseline = parse_json(DOC).unwrap();
+        // Timing and loose fields may drift arbitrarily…
+        let wobbly = DOC.replace("15.2", "99.9").replace(":44", ":7").replace("3.5", "120.0");
+        assert!(compare_baseline(&baseline, &parse_json(&wobbly).unwrap()).passed());
+        // …but a deterministic count may not.
+        let drifted = DOC.replace("120", "121");
+        let report = compare_baseline(&baseline, &parse_json(&drifted).unwrap());
+        assert!(!report.passed());
+        assert!(report.mismatches[0].contains("updates_sent"), "{:?}", report.mismatches);
+        // Nor may the single-threaded deviation stats.
+        let drifted =
+            DOC.replace("\"deviation\":{\"mean_m\":2.0}", "\"deviation\":{\"mean_m\":9.0}");
+        assert!(!compare_baseline(&baseline, &parse_json(&drifted).unwrap()).passed());
+    }
+
+    #[test]
+    fn structural_changes_fail() {
+        let baseline = parse_json(DOC).unwrap();
+        let missing = DOC.replace("\"flag\":true,", "");
+        let report = compare_baseline(&baseline, &parse_json(&missing).unwrap());
+        assert!(report.mismatches.iter().any(|m| m.contains("missing")));
+        let extra = DOC.replace("\"flag\":true", "\"flag\":true,\"extra\":1");
+        let report = compare_baseline(&baseline, &parse_json(&extra).unwrap());
+        assert!(report.mismatches.iter().any(|m| m.contains("--write-baseline")));
+        let shorter = DOC.replace("\"points\":[", "\"points\":[999,");
+        assert!(!compare_baseline(&baseline, &parse_json(&shorter).unwrap()).passed());
+    }
+
+    #[test]
+    fn net_schema_gates_query_result_counts_strictly() {
+        // In an mbdr-net/1 document the query phase is pinned to one
+        // post-flush instant, so rect_results & co. are deterministic and a
+        // drift must fail — unlike the thread-skewed throughput workload.
+        let doc = r#"{"schema":"mbdr-net/1","points":[{"rect_results":44,"zone_events":9}]}"#;
+        let baseline = parse_json(doc).unwrap();
+        assert!(compare_baseline(&baseline, &baseline).passed());
+        let drifted = doc.replace(":44", ":45");
+        let report = compare_baseline(&baseline, &parse_json(&drifted).unwrap());
+        assert!(!report.passed());
+        assert!(report.mismatches[0].contains("rect_results"), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn timing_metrics_accept_zero_but_reject_negatives() {
+        // A sub-resolution wall clock legitimately renders as 0.0 on a fast
+        // machine — that must pass; a negative value is garbage and fails.
+        let baseline = parse_json(DOC).unwrap();
+        let zeroed = DOC.replace("15.2", "0.0");
+        assert!(compare_baseline(&baseline, &parse_json(&zeroed).unwrap()).passed());
+        let negative = DOC.replace("15.2", "-3.0");
+        let report = compare_baseline(&baseline, &parse_json(&negative).unwrap());
+        assert!(report.mismatches.iter().any(|m| m.contains("wall_ms")));
+    }
+}

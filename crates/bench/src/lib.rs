@@ -9,12 +9,18 @@
 //! and the Criterion benches reuse them at reduced scale. Beyond the paper's
 //! artefacts, [`throughput`] sweeps the concurrent fleet workload over the
 //! sharded location service (objects × shards × query mix) as the service's
-//! perf baseline, and [`wire`] sweeps the lossy-uplink channel model over
-//! loss rates as the wire protocol's accuracy/overhead baseline.
+//! perf baseline, [`wire`] sweeps the lossy-uplink channel model over loss
+//! rates as the wire protocol's accuracy/overhead baseline, and [`netbase`]
+//! drives the TCP serving layer over loopback as the end-to-end network
+//! baseline. [`check`] is the regression gate: it parses the committed
+//! `baselines/BENCH_*.json` files and compares fresh output against them
+//! with per-metric tolerances (`reproduce <cmd> --check`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod check;
+pub mod netbase;
 pub mod throughput;
 pub mod wire;
 

@@ -1,0 +1,73 @@
+//! The `reproduce net` baseline: the TCP serving-layer workload of
+//! [`mbdr_sim::net_workload`] swept over a small connections grid, emitted as
+//! one JSON document (schema `mbdr-net/1`).
+//!
+//! Counts (updates, frames, bytes, query results) are deterministic for a
+//! given seed — the query phase runs after the flush barrier at one fixed
+//! instant — so the regression gate compares them strictly, while the
+//! throughput and latency fields are machine-dependent and only
+//! sanity-checked.
+
+use mbdr_sim::{run_net_workload, NetWorkloadConfig, NetWorkloadReport};
+
+/// The (producer, query) connection counts the baseline sweeps: a serial
+/// reference point and the concurrent shape the serving layer exists for.
+pub const BASELINE_CONNECTIONS: [(usize, usize); 2] = [(1, 1), (4, 4)];
+
+/// Runs the serving-layer baseline grid at the given scale (`scale` shrinks
+/// fleet size, trip length and query counts together, like the throughput
+/// baseline).
+pub fn net_grid(scale: f64, seed: u64) -> Vec<NetWorkloadReport> {
+    BASELINE_CONNECTIONS
+        .iter()
+        .map(|&(producers, queriers)| {
+            run_net_workload(&NetWorkloadConfig {
+                objects: ((48.0 * scale).round() as usize).max(8),
+                producer_connections: producers,
+                query_connections: queriers,
+                queries_per_connection: ((400.0 * scale) as usize).max(30),
+                trip_length_m: (3_000.0 * scale).max(400.0),
+                seed,
+                ..NetWorkloadConfig::default()
+            })
+        })
+        .collect()
+}
+
+/// Renders the grid as one JSON document (schema `mbdr-net/1`).
+pub fn render_net_json(scale: f64, seed: u64, reports: &[NetWorkloadReport]) -> String {
+    let mut out =
+        format!("{{\"schema\":\"mbdr-net/1\",\"scale\":{scale},\"seed\":{seed},\"points\":[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_produces_json_with_latency_fields() {
+        // Tiny smoke scale: the same path CI exercises.
+        let reports = net_grid(0.05, 7);
+        assert_eq!(reports.len(), BASELINE_CONNECTIONS.len());
+        for r in &reports {
+            assert_eq!(r.updates_applied, r.updates_sent);
+            assert!(r.updates_per_sec > 0.0);
+            assert!(r.latency_p99_ms >= r.latency_p50_ms);
+            assert_eq!(r.server.connections_dropped, 0);
+        }
+        let json = render_net_json(0.05, 7, &reports);
+        assert!(json.contains("\"schema\":\"mbdr-net/1\""));
+        assert!(json.contains("\"latency_p50_ms\":"));
+        assert!(json.contains("\"producer_connections\":4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -36,7 +36,9 @@
 //! source-side trait all the variants implement. [`wire`] is the verified
 //! codec the updates travel as: a round-trip-exact encoder/decoder pair plus
 //! the length-prefixed [`wire::Frame`] batching many updates per
-//! transmission.
+//! transmission, and [`wire::query`] adds the serving-layer message kinds
+//! (rect / nearest / zone queries and their responses) the `mbdr-net` TCP
+//! layer speaks.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -73,4 +75,5 @@ pub use protocol::{ProtocolConfig, Sighting, UpdateProtocol};
 pub use server::ServerTracker;
 pub use state::{ObjectState, Update, UpdateKind};
 pub use time_based::TimeBasedReporting;
+pub use wire::query::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
 pub use wire::{DecodeError, EncodeError, Frame};

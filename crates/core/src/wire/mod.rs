@@ -55,6 +55,8 @@ use crate::state::{ObjectState, Update, UpdateKind};
 use mbdr_geo::Point;
 use mbdr_roadnet::{LinkId, NodeId};
 
+pub mod query;
+
 /// The node id reserved on the wire to mean "no travel direction".
 pub const TOWARDS_NONE_WIRE: u32 = u32::MAX;
 
@@ -80,6 +82,11 @@ pub enum EncodeError {
     ReservedTowards,
     /// A frame batches more updates than its 16-bit count field can carry.
     FrameTooLarge(usize),
+    /// A float field is NaN or infinite. The decoder rejects such values
+    /// ([`DecodeError::NonFinite`]), so letting them encode would tear the
+    /// connection down at the *receiver* with no sender-side error — the
+    /// asymmetry is closed by failing at encode time instead.
+    NonFinite,
 }
 
 impl std::fmt::Display for EncodeError {
@@ -91,6 +98,7 @@ impl std::fmt::Display for EncodeError {
             EncodeError::FrameTooLarge(n) => {
                 write!(f, "frame with {n} updates exceeds the u16 count field")
             }
+            EncodeError::NonFinite => write!(f, "non-finite float field"),
         }
     }
 }
@@ -114,6 +122,11 @@ pub enum DecodeError {
     InvalidFlags(u8),
     /// The buffer holds more bytes than the message occupies.
     TrailingBytes(usize),
+    /// A float field decoded to NaN or infinity. Legitimate encoders never
+    /// produce these, and letting them through would poison downstream
+    /// comparisons (spatial-index boxes, distance ordering), so the decoder
+    /// rejects them outright.
+    NonFinite,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -125,6 +138,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::InvalidKind(k) => write!(f, "invalid update kind byte {k:#x}"),
             DecodeError::InvalidFlags(b) => write!(f, "invalid flags byte {b:#x}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the message"),
+            DecodeError::NonFinite => write!(f, "non-finite float field"),
         }
     }
 }
@@ -225,6 +239,16 @@ impl Update {
         if self.state.link.is_some() && self.state.towards == Some(NodeId(TOWARDS_NONE_WIRE)) {
             return Err(EncodeError::ReservedTowards);
         }
+        // The decoder rejects non-finite floats (a hostile-input guard), so
+        // encoding them would fail only at the receiver — surface the error
+        // where the bad value originates instead.
+        let s = &self.state;
+        if ![s.timestamp, s.position.x, s.position.y, s.speed, s.heading, s.arc_length, s.turn_rate]
+            .iter()
+            .all(|v| v.is_finite())
+        {
+            return Err(EncodeError::NonFinite);
+        }
         buf.reserve(self.encoded_len());
         buf.extend_from_slice(&self.sequence.to_be_bytes());
         buf.push(self.kind.to_wire());
@@ -309,6 +333,9 @@ impl Update {
             (None, 0.0, None)
         };
         let turn_rate = if flags & FLAG_TURN != 0 { reader.f32()? as f64 } else { 0.0 };
+        if ![timestamp, x, y, speed, heading, arc_length, turn_rate].iter().all(|v| v.is_finite()) {
+            return Err(DecodeError::NonFinite);
+        }
         Ok(Update {
             sequence,
             state: ObjectState {
@@ -363,17 +390,26 @@ impl Frame {
 
     /// Encodes the frame (see the module docs for the layout).
     pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Appends the encoded frame to `buf` — the allocation-free building
+    /// block the serving layer wraps frames into messages with. On error the
+    /// buffer may hold a partial encoding; discard it.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
         if self.updates.len() > u16::MAX as usize {
             return Err(EncodeError::FrameTooLarge(self.updates.len()));
         }
-        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.reserve(self.encoded_len());
         buf.extend_from_slice(&self.source.to_be_bytes());
         buf.extend_from_slice(&(self.updates.len() as u16).to_be_bytes());
         for update in &self.updates {
             buf.extend_from_slice(&(update.encoded_len() as u16).to_be_bytes());
-            update.encode_into(&mut buf)?;
+            update.encode_into(buf)?;
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Decodes a frame from exactly `bytes`. Never panics: truncated or
@@ -575,6 +611,32 @@ mod tests {
         bytes.extend_from_slice(&7u64.to_be_bytes());
         bytes.extend_from_slice(&u16::MAX.to_be_bytes());
         assert!(matches!(Frame::decode(&bytes), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_at_encode_time() {
+        // The decoder refuses NaN/infinite fields, so the encoder must too —
+        // otherwise a degenerate upstream value would only surface as a
+        // connection teardown at the receiver.
+        let mut u = sample_update();
+        u.state.heading = f64::NAN;
+        assert_eq!(u.encode(), Err(EncodeError::NonFinite));
+        let mut u = sample_update();
+        u.state.position.x = f64::INFINITY;
+        assert_eq!(Frame::single(1, u).encode(), Err(EncodeError::NonFinite));
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_at_decode_time() {
+        // Overwrite the timestamp with an f64 NaN: a hostile peer could use
+        // NaN coordinates to poison distance comparisons downstream, so the
+        // decoder refuses them with a typed error.
+        let mut bytes = sample_update().encode().unwrap();
+        bytes[9..17].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(Update::decode(&bytes), Err(DecodeError::NonFinite));
+        let mut bytes = sample_update().encode().unwrap();
+        bytes[33..37].copy_from_slice(&f32::INFINITY.to_be_bytes());
+        assert_eq!(Update::decode(&bytes), Err(DecodeError::NonFinite));
     }
 
     #[test]

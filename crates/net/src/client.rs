@@ -1,0 +1,162 @@
+//! The blocking client of the serving layer.
+//!
+//! One [`NetClient`] wraps one TCP connection. Ingest ([`NetClient::send_frame`])
+//! is fire-and-forget; [`NetClient::flush`] is the write barrier that makes
+//! previously sent frames visible to queries; the query methods are plain
+//! request–response calls. A client is not thread-safe by design — open one
+//! connection per producer or query thread, exactly like the workloads do.
+
+use crate::error::NetError;
+use crate::transport::{read_message, write_message, DEFAULT_MAX_MESSAGE_BYTES};
+use mbdr_core::{Frame, PositionRecord, Request, Response, ZoneEventRecord};
+use mbdr_geo::{Aabb, Point};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// Totals a flush barrier reports for its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushSummary {
+    /// Ingest frames the server received on this connection so far.
+    pub frames: u64,
+    /// Updates those frames applied to registered objects.
+    pub updates_applied: u64,
+}
+
+/// A blocking serving-layer connection.
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_message_bytes: u32,
+    bytes_sent: u64,
+}
+
+impl NetClient {
+    /// Connects to a serving layer.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(NetClient {
+            reader,
+            writer,
+            max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
+            bytes_sent: 0,
+        })
+    }
+
+    /// The local address of the underlying socket.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.writer.local_addr()
+    }
+
+    /// Raises (or lowers) the per-message size cap, default 1 MiB, applied
+    /// in both directions: outgoing messages above it fail fast with
+    /// [`NetError::Oversized`] (the server would refuse them and drop the
+    /// connection mid-stream), and a response above it is rejected instead
+    /// of read. A rect answer carries 32 bytes per object, so clients
+    /// querying fleets past ~32 k objects in one rectangle need a larger cap
+    /// on both ends ([`crate::ServerConfig::max_message_bytes`] server-side).
+    pub fn set_max_message_bytes(&mut self, max: u32) {
+        self.max_message_bytes = max;
+    }
+
+    /// Bytes this client has put on the wire (length prefixes included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Sends one update frame. Fire-and-forget: the server queues the frame
+    /// for ingest and answers nothing — call [`NetClient::flush`] for the
+    /// write barrier.
+    pub fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
+        // Single-pass encode: kind byte + frame in one buffer, instead of
+        // encoding the frame and copying it again into a request buffer.
+        let body = Request::encode_ingest(frame)?;
+        self.send_body(&body)
+    }
+
+    /// The write barrier: returns once every frame previously sent on this
+    /// connection has been applied to the service.
+    pub fn flush(&mut self) -> Result<FlushSummary, NetError> {
+        self.send(&Request::Flush)?;
+        match self.receive()? {
+            Response::FlushDone { frames, updates_applied } => {
+                Ok(FlushSummary { frames, updates_applied })
+            }
+            Response::Error(code) => Err(NetError::Server(code)),
+            _ => Err(NetError::UnexpectedResponse("flush-done")),
+        }
+    }
+
+    /// "All objects inside `area` at time `t`" over the wire.
+    pub fn objects_in_rect(
+        &mut self,
+        area: &Aabb,
+        t: f64,
+    ) -> Result<Vec<PositionRecord>, NetError> {
+        self.positions(&Request::Rect { area: *area, t })
+    }
+
+    /// "The `k` objects nearest to `from` at time `t`" over the wire.
+    pub fn nearest_objects(
+        &mut self,
+        from: &Point,
+        t: f64,
+        k: u16,
+    ) -> Result<Vec<PositionRecord>, NetError> {
+        self.positions(&Request::Nearest { from: *from, t, k })
+    }
+
+    /// Registers a zone on this connection's server-side watcher.
+    /// Fire-and-forget: a later [`NetClient::poll_zones`] on this connection
+    /// is guaranteed to see it (requests are processed in order).
+    pub fn subscribe_zone(&mut self, zone: u32, area: &Aabb) -> Result<(), NetError> {
+        self.send(&Request::ZoneSubscribe { zone, area: *area })
+    }
+
+    /// Evaluates this connection's zones at time `t`, returning the
+    /// enter/leave transitions since the previous poll.
+    pub fn poll_zones(&mut self, t: f64) -> Result<Vec<ZoneEventRecord>, NetError> {
+        self.send(&Request::ZonePoll { t })?;
+        match self.receive()? {
+            Response::ZoneEvents(events) => Ok(events),
+            Response::Error(code) => Err(NetError::Server(code)),
+            _ => Err(NetError::UnexpectedResponse("zone events")),
+        }
+    }
+
+    fn positions(&mut self, request: &Request) -> Result<Vec<PositionRecord>, NetError> {
+        self.send(request)?;
+        match self.receive()? {
+            Response::Positions(records) => Ok(records),
+            Response::Error(code) => Err(NetError::Server(code)),
+            _ => Err(NetError::UnexpectedResponse("positions")),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), NetError> {
+        let body = request.encode();
+        self.send_body(&body)
+    }
+
+    fn send_body(&mut self, body: &[u8]) -> Result<(), NetError> {
+        // Fail fast on a message the peer would refuse anyway: sending it
+        // would get the connection dropped mid-stream, losing everything
+        // buffered behind it, with the error surfacing only on a later read.
+        if body.len() as u64 > u64::from(self.max_message_bytes) {
+            return Err(NetError::Oversized {
+                len: body.len().min(u32::MAX as usize) as u32,
+                max: self.max_message_bytes,
+            });
+        }
+        self.bytes_sent += write_message(&mut self.writer, body)?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Response, NetError> {
+        match read_message(&mut self.reader, self.max_message_bytes)? {
+            Some(body) => Ok(Response::decode(&body)?),
+            None => Err(NetError::Closed),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The serving layer's error type.
+
+use mbdr_core::{DecodeError, EncodeError, ServeError};
+
+/// Anything that can go wrong on a serving-layer connection.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// A received message failed to decode.
+    Decode(DecodeError),
+    /// A state could not be represented on the wire.
+    Encode(EncodeError),
+    /// A message's length prefix exceeded the size cap.
+    Oversized {
+        /// The length the prefix claimed.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// The server rejected a request with a typed error code (it drops the
+    /// connection after sending one of these).
+    Server(ServeError),
+    /// The peer answered with a response kind the request does not expect.
+    UnexpectedResponse(&'static str),
+    /// The peer closed the connection cleanly where a message was expected.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Decode(e) => write!(f, "message failed to decode: {e}"),
+            NetError::Encode(e) => write!(f, "state not representable on the wire: {e}"),
+            NetError::Oversized { len, max } => {
+                write!(f, "message length {len} exceeds the {max}-byte cap")
+            }
+            NetError::Server(code) => write!(f, "server rejected the request: {code}"),
+            NetError::UnexpectedResponse(expected) => {
+                write!(f, "peer answered with an unexpected response (wanted {expected})")
+            }
+            NetError::Closed => write!(f, "connection closed by the peer"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Decode(e) => Some(e),
+            NetError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> Self {
+        NetError::Decode(e)
+    }
+}
+
+impl From<EncodeError> for NetError {
+    fn from(e: EncodeError) -> Self {
+        NetError::Encode(e)
+    }
+}

@@ -1,0 +1,536 @@
+//! The threaded TCP server in front of a [`LocationService`].
+//!
+//! ## Thread model
+//!
+//! One **accept** thread hands each connection to its own **reader** thread.
+//! Readers decode length-prefixed [`Request`]s: queries (rect / nearest /
+//! zone poll) are answered inline on the connection — they only take shard
+//! *read* locks, so a slow client never blocks ingest — while ingest frames
+//! are pushed onto a **bounded queue** drained by ingest workers calling
+//! [`LocationService::apply_frame_bytes`]. The bound is the backpressure:
+//! when producers outrun the store, their reader threads block on the queue
+//! (and ultimately the senders block on TCP), instead of the server
+//! buffering unboundedly.
+//!
+//! Each connection is pinned to one worker (round-robin at accept time, one
+//! bounded queue per worker): the tracker's staleness rule rejects updates
+//! that arrive out of order, so frames from one source must be applied in
+//! the order the socket delivered them — two workers racing frames of the
+//! same connection would drop legitimate updates. Pinning preserves the
+//! per-source order TCP already paid for, while different connections still
+//! ingest in parallel.
+//!
+//! ## The flush barrier
+//!
+//! Ingest is fire-and-forget (no per-frame ack — that would halve throughput
+//! on high-latency uplinks), so a client that needs read-your-writes sends
+//! [`Request::Flush`]: the reader waits until every frame previously received
+//! on *this* connection has been applied, then answers
+//! [`Response::FlushDone`] with the connection's frame and update totals.
+//!
+//! ## Hostile input
+//!
+//! Every failure is typed and counted (see [`crate::ServerStats`]): an
+//! oversized length prefix or an undecodable request gets a best-effort
+//! [`Response::Error`] and the connection is dropped; a frame payload that
+//! fails to decode at apply time does the same from the worker side. No
+//! input panics a server thread, so the service's shard locks can never be
+//! poisoned by traffic.
+
+use crate::error::NetError;
+use crate::stats::{ServerStats, ServerStatsSnapshot};
+use crate::transport::{read_message, write_message, DEFAULT_MAX_MESSAGE_BYTES};
+use mbdr_core::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
+use mbdr_locserver::{LocationService, PositionReport, ZoneEventKind, ZoneWatcher};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Threads applying ingest frames to the service. Every connection is
+    /// pinned to one worker so its frames apply in arrival order.
+    pub ingest_workers: usize,
+    /// Capacity of each worker's bounded ingest queue (frames). Readers
+    /// block when their worker's queue is full — the server's backpressure
+    /// towards fast producers.
+    pub ingest_queue: usize,
+    /// Per-message size cap; larger length prefixes are refused unread.
+    pub max_message_bytes: u32,
+    /// Socket write timeout for responses. A client that stops reading
+    /// (deliberately or not) can fill its TCP receive window; the timeout
+    /// bounds how long any server thread can stay stuck in a response write
+    /// before the connection is dropped instead.
+    pub write_timeout: std::time::Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            ingest_workers: 2,
+            ingest_queue: 1024,
+            max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
+            write_timeout: std::time::Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-connection ingest accounting, shared between the connection's reader
+/// thread and the ingest workers.
+#[derive(Default)]
+struct Progress {
+    /// Frames this connection has pushed onto the ingest queue.
+    enqueued: u64,
+    /// Frames the workers have finished with (applied or failed).
+    applied_frames: u64,
+    /// Updates those frames applied to registered objects.
+    applied_updates: u64,
+    /// Set when a frame payload failed to decode: the connection is being
+    /// torn down and a pending flush must not wait for more progress.
+    failed: bool,
+}
+
+/// State shared between a connection's reader thread and the ingest workers.
+struct ConnShared {
+    /// The write half, mutexed so reader-thread responses and worker-side
+    /// error responses never interleave bytes.
+    writer: Mutex<TcpStream>,
+    /// A dedicated handle for tearing the socket down, so teardown never
+    /// has to wait on the writer mutex (a reader can legitimately hold it
+    /// for up to the write timeout).
+    shutdown_handle: TcpStream,
+    progress: Mutex<Progress>,
+    done: Condvar,
+}
+
+impl ConnShared {
+    fn teardown(&self) {
+        let _ = self.shutdown_handle.shutdown(Shutdown::Both);
+    }
+}
+
+/// One frame travelling from a connection reader to an ingest worker.
+struct IngestJob {
+    frame_bytes: Vec<u8>,
+    conn: Arc<ConnShared>,
+}
+
+/// A running TCP serving layer over one shared [`LocationService`].
+///
+/// Dropping the server shuts it down and joins every thread; call
+/// [`NetServer::shutdown`] to do so explicitly and receive the final
+/// counters.
+pub struct NetServer {
+    addr: SocketAddr,
+    service: Arc<LocationService>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    conn_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds the serving layer to `addr` (use port 0 for an ephemeral port)
+    /// and starts the accept and ingest-worker threads.
+    pub fn bind(
+        service: Arc<LocationService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // One bounded queue per worker: connections are pinned round-robin,
+        // so one source's frames are never raced by two workers.
+        let mut worker_txs = Vec::new();
+        let mut worker_handles = Vec::new();
+        for i in 0..config.ingest_workers.max(1) {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
+            worker_txs.push(tx);
+            let service = Arc::clone(&service);
+            let stats = Arc::clone(&stats);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mbdr-net-ingest-{i}"))
+                    .spawn(move || ingest_worker(&rx, &service, &stats))?,
+            );
+        }
+        let conn_streams = Arc::new(Mutex::new(HashMap::new()));
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let service = Arc::clone(&service);
+            let stats = Arc::clone(&stats);
+            let conn_streams = Arc::clone(&conn_streams);
+            let conn_handles = Arc::clone(&conn_handles);
+            std::thread::Builder::new().name("mbdr-net-accept".into()).spawn(move || {
+                accept_loop(
+                    &listener,
+                    &shutdown,
+                    &worker_txs,
+                    &service,
+                    &stats,
+                    config,
+                    &conn_streams,
+                    &conn_handles,
+                );
+            })?
+        };
+        Ok(NetServer {
+            addr,
+            service,
+            stats,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            conn_streams,
+            conn_handles,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The location service the server fronts.
+    pub fn service(&self) -> &Arc<LocationService> {
+        &self.service
+    }
+
+    /// A copy of the serving counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, tears down every connection, drains the workers and
+    /// joins all threads. Returns the final counters.
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.shutdown_inner();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept_handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop: it checks the flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept_handle.join();
+        for (_, stream) in self.conn_streams.lock().expect("conn registry").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self.conn_handles.lock().expect("conn handles").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Every sender is gone once the accept loop and all readers exited,
+        // so the workers drain the queue and see the disconnect.
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    worker_txs: &[SyncSender<IngestJob>],
+    service: &Arc<LocationService>,
+    stats: &Arc<ServerStats>,
+    config: ServerConfig,
+    conn_streams: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+    conn_handles: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    let mut next_conn_id = 0u64;
+    for incoming in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = incoming else {
+            continue;
+        };
+        ServerStats::bump(&stats.connections_accepted);
+        let _ = stream.set_nodelay(true);
+        // A client that stops reading must not pin server threads in
+        // response writes forever (see ServerConfig::write_timeout).
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let halves = (stream.try_clone(), stream.try_clone(), stream.try_clone());
+        let (write_half, registry_half, shutdown_half) = match halves {
+            (Ok(w), Ok(r), Ok(s)) => (w, r, s),
+            _ => {
+                ServerStats::bump(&stats.connections_dropped);
+                continue;
+            }
+        };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        conn_streams.lock().expect("conn registry").insert(conn_id, registry_half);
+        let conn = Arc::new(ConnShared {
+            writer: Mutex::new(write_half),
+            shutdown_handle: shutdown_half,
+            progress: Mutex::new(Progress::default()),
+            done: Condvar::new(),
+        });
+        // Connections are pinned to workers round-robin (see module docs).
+        let tx = worker_txs[conn_id as usize % worker_txs.len()].clone();
+        let service = Arc::clone(service);
+        let conn_stats = Arc::clone(stats);
+        let registry = Arc::clone(conn_streams);
+        let spawned = std::thread::Builder::new().name("mbdr-net-conn".into()).spawn(move || {
+            serve_connection(stream, &conn, &tx, &service, &conn_stats, config.max_message_bytes);
+            // Reap this connection's registry entry so a long-running server
+            // with churning clients does not leak one fd per connection.
+            registry.lock().expect("conn registry").remove(&conn_id);
+        });
+        let mut handles = conn_handles.lock().expect("conn handles");
+        // Reap finished reader threads for the same reason (dropping a
+        // finished JoinHandle merely detaches an already-dead thread).
+        handles.retain(|h: &JoinHandle<()>| !h.is_finished());
+        match spawned {
+            Ok(handle) => handles.push(handle),
+            Err(_) => {
+                // The reader never ran, so nobody else will reap the
+                // registry entry — drop it here or the fd leaks, which is
+                // the worst outcome under the very thread exhaustion that
+                // makes spawn fail.
+                conn_streams.lock().expect("conn registry").remove(&conn_id);
+                ServerStats::bump(&stats.connections_dropped);
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    conn: &Arc<ConnShared>,
+    tx: &SyncSender<IngestJob>,
+    service: &LocationService,
+    stats: &ServerStats,
+    max_message_bytes: u32,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut watcher = ZoneWatcher::new();
+    let mut zone_ids: HashMap<String, u32> = HashMap::new();
+    loop {
+        match read_message(&mut reader, max_message_bytes) {
+            Ok(None) => {
+                // A worker tearing the socket down on a bad frame surfaces
+                // here as EOF too: the failure flag tells the two apart.
+                // Frames can still be in this connection's queue (a client
+                // may send a corrupt frame and close immediately), so wait
+                // for them to drain before attributing the teardown —
+                // otherwise the race between this EOF and the worker's
+                // verdict would miscount a drop as a clean close.
+                let (_, _, failed) = wait_for_drain(conn);
+                if failed {
+                    ServerStats::bump(&stats.connections_dropped);
+                } else {
+                    ServerStats::bump(&stats.connections_closed);
+                }
+                return;
+            }
+            Ok(Some(body)) => {
+                ServerStats::add(&stats.bytes_received, 4 + body.len() as u64);
+                // decode_owned hands an ingest payload over without copying
+                // it — the per-frame hot path.
+                let request = match Request::decode_owned(body) {
+                    Ok(request) => request,
+                    Err(_) => {
+                        ServerStats::bump(&stats.request_decode_errors);
+                        let _ = respond(conn, stats, &Response::Error(ServeError::BadRequest));
+                        return drop_connection(conn, stats);
+                    }
+                };
+                if !handle_request(request, conn, tx, service, stats, &mut watcher, &mut zone_ids) {
+                    return;
+                }
+            }
+            Err(NetError::Oversized { .. }) => {
+                ServerStats::bump(&stats.oversized_messages);
+                let _ = respond(conn, stats, &Response::Error(ServeError::Oversized));
+                return drop_connection(conn, stats);
+            }
+            Err(NetError::Decode(_)) => {
+                ServerStats::bump(&stats.request_decode_errors);
+                let _ = respond(conn, stats, &Response::Error(ServeError::BadRequest));
+                return drop_connection(conn, stats);
+            }
+            Err(_) => return drop_connection(conn, stats),
+        }
+    }
+}
+
+/// Handles one decoded request; returns `false` when the connection must end.
+#[allow(clippy::too_many_arguments)]
+fn handle_request(
+    request: Request,
+    conn: &Arc<ConnShared>,
+    tx: &SyncSender<IngestJob>,
+    service: &LocationService,
+    stats: &ServerStats,
+    watcher: &mut ZoneWatcher,
+    zone_ids: &mut HashMap<String, u32>,
+) -> bool {
+    match request {
+        Request::Ingest(frame_bytes) => {
+            ServerStats::bump(&stats.frames_received);
+            conn.progress.lock().expect("progress lock").enqueued += 1;
+            if tx.send(IngestJob { frame_bytes, conn: Arc::clone(conn) }).is_err() {
+                drop_connection(conn, stats);
+                return false;
+            }
+        }
+        Request::Rect { area, t } => {
+            let records = to_records(service.objects_in_rect(&area, t));
+            ServerStats::bump(&stats.queries_answered);
+            if respond(conn, stats, &Response::Positions(records)).is_err() {
+                drop_connection(conn, stats);
+                return false;
+            }
+        }
+        Request::Nearest { from, t, k } => {
+            let records = to_records(service.nearest_objects(&from, t, k as usize));
+            ServerStats::bump(&stats.queries_answered);
+            if respond(conn, stats, &Response::Positions(records)).is_err() {
+                drop_connection(conn, stats);
+                return false;
+            }
+        }
+        Request::ZoneSubscribe { zone, area } => {
+            // Fire-and-forget: requests on one connection are processed in
+            // order, so a subsequent poll is guaranteed to see the zone.
+            // The watcher keys zones by string name; `zone_ids` maps those
+            // names back to the wire's u32 ids so poll events never have to
+            // parse (or silently alias an unparsable name).
+            let name = zone.to_string();
+            zone_ids.insert(name.clone(), zone);
+            watcher.add_zone(name, area);
+        }
+        Request::ZonePoll { t } => {
+            let events: Vec<ZoneEventRecord> = watcher
+                .evaluate(service, t)
+                .into_iter()
+                .filter_map(|e| {
+                    Some(ZoneEventRecord {
+                        zone: *zone_ids.get(&e.zone)?,
+                        object: e.object.0,
+                        entered: matches!(e.kind, ZoneEventKind::Entered),
+                        t,
+                    })
+                })
+                .collect();
+            ServerStats::add(&stats.zone_events_emitted, events.len() as u64);
+            ServerStats::bump(&stats.queries_answered);
+            if respond(conn, stats, &Response::ZoneEvents(events)).is_err() {
+                drop_connection(conn, stats);
+                return false;
+            }
+        }
+        Request::Flush => {
+            let (frames, updates_applied, failed) = wait_for_drain(conn);
+            if failed {
+                // The worker already sent the error and shut the socket down.
+                drop_connection(conn, stats);
+                return false;
+            }
+            if respond(conn, stats, &Response::FlushDone { frames, updates_applied }).is_err() {
+                drop_connection(conn, stats);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Blocks until every frame enqueued on this connection has been processed
+/// (or its teardown began). Returns `(frames, updates_applied, failed)`.
+fn wait_for_drain(conn: &ConnShared) -> (u64, u64, bool) {
+    let mut progress = conn.progress.lock().expect("progress lock");
+    while progress.applied_frames < progress.enqueued && !progress.failed {
+        progress = conn.done.wait(progress).expect("progress lock");
+    }
+    (progress.enqueued, progress.applied_updates, progress.failed)
+}
+
+fn to_records(reports: Vec<PositionReport>) -> Vec<PositionRecord> {
+    reports
+        .into_iter()
+        .map(|r| PositionRecord {
+            object: r.object.0,
+            position: r.position,
+            information_age: r.information_age,
+        })
+        .collect()
+}
+
+fn respond(conn: &ConnShared, stats: &ServerStats, response: &Response) -> Result<(), NetError> {
+    let body = response.encode()?;
+    let mut writer = conn.writer.lock().expect("writer lock");
+    let sent = write_message(&mut *writer, &body)?;
+    ServerStats::add(&stats.bytes_sent, sent);
+    Ok(())
+}
+
+fn drop_connection(conn: &ConnShared, stats: &ServerStats) {
+    ServerStats::bump(&stats.connections_dropped);
+    conn.teardown();
+}
+
+fn ingest_worker(rx: &Receiver<IngestJob>, service: &LocationService, stats: &ServerStats) {
+    // Ends when every sender to this worker's queue is gone: shutdown.
+    for job in rx.iter() {
+        match service.apply_frame_bytes(&job.frame_bytes) {
+            Ok(applied) => {
+                ServerStats::add(&stats.updates_applied, applied as u64);
+                let mut progress = job.conn.progress.lock().expect("progress lock");
+                progress.applied_frames += 1;
+                progress.applied_updates += applied as u64;
+                drop(progress);
+                job.conn.done.notify_all();
+            }
+            Err(_) => {
+                // A corrupt frame payload: count it, tell the client, tear
+                // the connection down. The service was never touched, so no
+                // shard state is affected. The failure flag is set *before*
+                // the socket is shut down, so the reader — which wakes on
+                // the resulting EOF — always attributes the teardown to a
+                // drop, never to a clean close.
+                ServerStats::bump(&stats.frame_decode_errors);
+                let mut progress = job.conn.progress.lock().expect("progress lock");
+                progress.applied_frames += 1;
+                progress.failed = true;
+                drop(progress);
+                job.conn.done.notify_all();
+                // Best-effort error response: try_lock so a reader stuck
+                // writing to a non-draining client cannot stall this worker
+                // on the mutex (the socket write itself is bounded by the
+                // connection's write timeout).
+                if let Ok(mut writer) = job.conn.writer.try_lock() {
+                    if let Ok(body) = Response::Error(ServeError::BadRequest).encode() {
+                        if let Ok(sent) = write_message(&mut *writer, &body) {
+                            ServerStats::add(&stats.bytes_sent, sent);
+                        }
+                    }
+                }
+                job.conn.teardown();
+            }
+        }
+    }
+}

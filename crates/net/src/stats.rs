@@ -1,0 +1,89 @@
+//! Observable counters of a running [`crate::NetServer`].
+//!
+//! The same discipline as the simulator's `LinkStats`: every event on the
+//! serving path is tallied per cause, so tests (and operators) can assert
+//! exactly what a connection did — how many frames arrived, how many updates
+//! they applied, and why a connection ended (clean close vs. protocol
+//! violation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters the server threads bump as they work.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) connections_dropped: AtomicU64,
+    pub(crate) frames_received: AtomicU64,
+    pub(crate) updates_applied: AtomicU64,
+    pub(crate) frame_decode_errors: AtomicU64,
+    pub(crate) request_decode_errors: AtomicU64,
+    pub(crate) oversized_messages: AtomicU64,
+    pub(crate) queries_answered: AtomicU64,
+    pub(crate) zone_events_emitted: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    /// A consistent-enough copy of the counters (each is read atomically;
+    /// the set is not a single snapshot, which only matters mid-traffic).
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServerStatsSnapshot {
+            connections_accepted: get(&self.connections_accepted),
+            connections_closed: get(&self.connections_closed),
+            connections_dropped: get(&self.connections_dropped),
+            frames_received: get(&self.frames_received),
+            updates_applied: get(&self.updates_applied),
+            frame_decode_errors: get(&self.frame_decode_errors),
+            request_decode_errors: get(&self.request_decode_errors),
+            oversized_messages: get(&self.oversized_messages),
+            queries_answered: get(&self.queries_answered),
+            zone_events_emitted: get(&self.zone_events_emitted),
+            bytes_received: get(&self.bytes_received),
+            bytes_sent: get(&self.bytes_sent),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Connections the accept loop handed to a reader thread.
+    pub connections_accepted: u64,
+    /// Connections the peer closed cleanly at a message boundary.
+    pub connections_closed: u64,
+    /// Connections the server dropped (decode error, oversized message or
+    /// socket failure).
+    pub connections_dropped: u64,
+    /// Ingest frames received (valid envelopes; payload validity is counted
+    /// at apply time).
+    pub frames_received: u64,
+    /// Updates the ingest workers applied to registered objects.
+    pub updates_applied: u64,
+    /// Ingest frame payloads that failed to decode at apply time.
+    pub frame_decode_errors: u64,
+    /// Request envelopes that failed to decode.
+    pub request_decode_errors: u64,
+    /// Messages refused because their length prefix exceeded the cap.
+    pub oversized_messages: u64,
+    /// Rect / nearest / zone-poll queries answered (flush barriers are
+    /// accounted per connection via `FlushDone`, not here, so this
+    /// reconciles exactly with client-side query counts).
+    pub queries_answered: u64,
+    /// Zone enter/leave events sent to subscribers.
+    pub zone_events_emitted: u64,
+    /// Bytes read off accepted sockets (length prefixes included).
+    pub bytes_received: u64,
+    /// Bytes written to accepted sockets (length prefixes included).
+    pub bytes_sent: u64,
+}

@@ -1,0 +1,111 @@
+//! Length-prefixed message framing over a byte stream.
+//!
+//! TCP is a byte stream, so the serving layer delimits messages with a
+//! 4-byte big-endian length prefix followed by the message body (a kind byte
+//! plus payload, see `mbdr_core::wire::query`). The length is the first
+//! untrusted field a hostile peer controls: [`read_message`] refuses
+//! prefixes above the configured cap *before* allocating, so a 4 GiB claim
+//! costs the server four bytes of reading and one typed error, not memory.
+
+use crate::error::NetError;
+use std::io::{Read, Write};
+
+/// Default per-message size cap: far above any legitimate frame or response
+/// (a full 65 535-update frame is under 4 MiB only for pathological batches;
+/// real frames are a few hundred bytes) while keeping hostile allocations
+/// bounded.
+pub const DEFAULT_MAX_MESSAGE_BYTES: u32 = 1 << 20;
+
+/// Writes one length-prefixed message and flushes. Returns the bytes put on
+/// the wire (prefix + body).
+pub fn write_message(writer: &mut impl Write, body: &[u8]) -> std::io::Result<u64> {
+    let len = u32::try_from(body.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "message body exceeds u32")
+    })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    Ok(4 + body.len() as u64)
+}
+
+/// Reads one length-prefixed message.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly at a
+/// message boundary. A prefix of zero (no room for the kind byte) or above
+/// `max` reports a typed error without reading or allocating the body; EOF
+/// in the middle of a message surfaces as [`NetError::Io`].
+pub fn read_message(reader: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, NetError> {
+    let mut prefix = [0u8; 4];
+    // The first byte distinguishes a clean close from a truncated message
+    // (read_exact cannot: it maps both to UnexpectedEof). Retry EINTR like
+    // read_exact does, so a signal landing on an idle connection does not
+    // tear it down.
+    loop {
+        match reader.read(&mut prefix[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    reader.read_exact(&mut prefix[1..])?;
+    let len = u32::from_be_bytes(prefix);
+    if len == 0 {
+        return Err(NetError::Decode(mbdr_core::DecodeError::Truncated {
+            needed: 1,
+            available: 0,
+        }));
+    }
+    if len > max {
+        return Err(NetError::Oversized { len, max });
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn messages_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, b"hello").unwrap();
+        write_message(&mut wire, &[0xFF; 3]).unwrap();
+        let mut reader = Cursor::new(wire);
+        assert_eq!(read_message(&mut reader, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_message(&mut reader, 1024).unwrap().unwrap(), vec![0xFF; 3]);
+        assert!(read_message(&mut reader, 1024).unwrap().is_none(), "clean EOF at a boundary");
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        // No body follows — if the reader tried to allocate or read it, this
+        // would error differently (or OOM); the cap must trip first.
+        match read_message(&mut Cursor::new(wire), 1 << 20) {
+            Err(NetError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1 << 20);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_and_truncated_messages_report_typed_errors() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(read_message(&mut Cursor::new(wire), 1024), Err(NetError::Decode(_))));
+        // A prefix promising 10 bytes with only 3 behind it: EOF mid-message.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_be_bytes());
+        wire.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(read_message(&mut Cursor::new(wire), 1024), Err(NetError::Io(_))));
+        // A truncated prefix itself is also EOF mid-message.
+        assert!(matches!(read_message(&mut Cursor::new(vec![0u8; 2]), 1024), Err(NetError::Io(_))));
+    }
+}

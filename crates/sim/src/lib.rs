@@ -27,6 +27,10 @@
 //!   ingesting updates while query threads issue the motivating range /
 //!   nearest / zone queries, measuring ingest throughput, query throughput
 //!   and query-observed accuracy.
+//! * [`net_workload`] — the same fleet driven over real loopback TCP through
+//!   `mbdr_net`'s serving layer: producer connections stream encoded frames,
+//!   query connections issue the binary query protocol, and the report adds
+//!   p50/p99 query round-trip latency (`reproduce net` emits its baseline).
 //! * [`report`] — plain-text table/CSV rendering of the results.
 
 #![warn(missing_docs)]
@@ -37,6 +41,7 @@ pub mod degraded;
 pub mod fleet;
 pub mod lossy;
 pub mod metrics;
+pub mod net_workload;
 pub mod protocols;
 pub mod report;
 pub mod runner;
@@ -48,6 +53,7 @@ pub use degraded::{DegradedChannel, LinkConfig, LinkStats};
 pub use fleet::{FleetConfig, FleetResult};
 pub use lossy::{run_loss_sweep, LossPoint, LossSweepConfig, LossSweepResult};
 pub use metrics::{DeviationStats, RunMetrics};
+pub use net_workload::{run_net_workload, NetWorkloadConfig, NetWorkloadReport};
 pub use protocols::ProtocolKind;
 pub use report::{render_csv, render_json, render_table};
 pub use runner::{run_protocol, RunConfig};

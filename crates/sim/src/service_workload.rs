@@ -225,24 +225,30 @@ impl WorkloadReport {
     }
 }
 
-/// One vehicle's pre-generated replay script.
-struct ObjectScript {
-    id: ObjectId,
-    predictor: Arc<dyn Predictor>,
-    updates: Vec<Update>,
-    trace: Trace,
+/// One vehicle's pre-generated replay script (also fed to the TCP workload
+/// in [`crate::net_workload`]).
+pub(crate) struct ObjectScript {
+    pub(crate) id: ObjectId,
+    pub(crate) predictor: Arc<dyn Predictor>,
+    pub(crate) updates: Vec<Update>,
+    pub(crate) trace: Trace,
 }
 
 /// Phase 1: simulate every vehicle and run its protocol offline, capturing
 /// the update stream the replay will ingest.
-fn build_scripts(config: &WorkloadConfig) -> (ScenarioData, Vec<ObjectScript>) {
-    let base = Scenario { kind: ScenarioKind::City, scale: 0.02, seed: config.seed }.build();
+pub(crate) fn build_scripts(
+    objects: usize,
+    trip_length_m: f64,
+    requested_accuracy: f64,
+    protocol: ProtocolKind,
+    seed: u64,
+) -> (ScenarioData, Vec<ObjectScript>) {
+    let base = Scenario { kind: ScenarioKind::City, scale: 0.02, seed }.build();
     let base_ctx = ProtocolContext::for_scenario(&base);
     let mut slots: Vec<Option<ObjectScript>> = Vec::new();
-    slots.resize_with(config.objects, || None);
-    let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(config.objects);
-    let chunk = config.objects.div_ceil(workers);
+    slots.resize_with(objects, || None);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(objects);
+    let chunk = objects.div_ceil(workers);
     crossbeam::thread::scope(|scope| {
         for (worker_index, out_chunk) in slots.chunks_mut(chunk).enumerate() {
             let base = &base;
@@ -250,9 +256,8 @@ fn build_scripts(config: &WorkloadConfig) -> (ScenarioData, Vec<ObjectScript>) {
             scope.spawn(move |_| {
                 for (offset, slot) in out_chunk.iter_mut().enumerate() {
                     let object_index = worker_index * chunk + offset;
-                    let data =
-                        object_scenario(base, object_index, config.seed, config.trip_length_m);
-                    let protocol = config.protocol.build(base_ctx, config.requested_accuracy);
+                    let data = object_scenario(base, object_index, seed, trip_length_m);
+                    let protocol = protocol.build(base_ctx, requested_accuracy);
                     let predictor = protocol.predictor();
                     let outcome = run_protocol(&data.trace, protocol, RunConfig::default());
                     *slot = Some(ObjectScript {
@@ -304,7 +309,13 @@ pub fn run_service_workload(config: &WorkloadConfig) -> WorkloadReport {
     assert!(config.objects > 0, "workload needs at least one object");
     assert!(config.producers > 0, "workload needs at least one producer");
     assert!(config.query_threads > 0, "workload needs at least one query thread");
-    let (base, scripts) = build_scripts(config);
+    let (base, scripts) = build_scripts(
+        config.objects,
+        config.trip_length_m,
+        config.requested_accuracy,
+        config.protocol,
+        config.seed,
+    );
 
     let service = LocationService::with_config(ServiceConfig {
         shards: config.shards,
