@@ -28,7 +28,9 @@
 //! Every flag is parsed in one place and every unknown command or argument
 //! dies with usage and a non-zero exit — there is exactly one parser.
 
+use mbdr_bench::alloccount::CountingAllocator;
 use mbdr_bench::check::{compare_baseline, parse_json};
+use mbdr_bench::hotpath::{hotpath_report, render_hotpath_json};
 use mbdr_bench::netbase::{net_grid, render_net_json};
 use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
 use mbdr_bench::wire::wire_baseline;
@@ -41,6 +43,13 @@ use mbdr_sim::{render_csv, render_json, render_table, ProtocolKind};
 use mbdr_trace::ScenarioKind;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// The counting allocator behind `reproduce hotpath`: its per-allocation
+/// cost is one relaxed atomic increment, so installing it globally does not
+/// disturb the other commands' timings while making allocations-per-
+/// operation an exact, gateable number.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// Every subcommand, validated at parse time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +64,7 @@ enum Command {
     Throughput,
     Wire,
     Net,
+    Hotpath,
     All,
 }
 
@@ -75,6 +85,7 @@ impl Command {
             "throughput" => Command::Throughput,
             "wire" => Command::Wire,
             "net" => Command::Net,
+            "hotpath" => Command::Hotpath,
             "all" => Command::All,
             _ => return None,
         })
@@ -88,6 +99,7 @@ impl Command {
             Command::Throughput => "BENCH_throughput.json",
             Command::Wire => "BENCH_wire.json",
             Command::Net => "BENCH_net.json",
+            Command::Hotpath => "BENCH_hotpath.json",
             _ => return None,
         })
     }
@@ -157,7 +169,8 @@ fn parse_args() -> Options {
         die("--check and --write-baseline are mutually exclusive");
     }
     if (options.check || options.write_baseline) && options.command.baseline_file().is_none() {
-        die("--check/--write-baseline only apply to the JSON commands (json|throughput|wire|net)");
+        die("--check/--write-baseline only apply to the JSON commands \
+             (json|throughput|wire|net|hotpath)");
     }
     options
 }
@@ -171,7 +184,7 @@ fn die(message: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|wire|net|all]\n       [--scale F] [--seed N] [--csv] [--check] \
+         json|throughput|wire|net|hotpath|all]\n       [--scale F] [--seed N] [--csv] [--check] \
          [--write-baseline] [--baseline-dir DIR]"
     );
 }
@@ -208,6 +221,7 @@ fn baseline_json(command: Command, scale: f64, seed: u64) -> String {
         Command::Throughput => render_throughput_json(scale, seed, &throughput_grid(scale, seed)),
         Command::Wire => wire_baseline(scale, seed).to_json(),
         Command::Net => render_net_json(scale, seed, &net_grid(scale, seed)),
+        Command::Hotpath => render_hotpath_json(scale, seed, &hotpath_report(scale, seed)),
         _ => unreachable!("parse_args only routes JSON commands here"),
     }
 }
@@ -385,7 +399,7 @@ fn main() {
         Command::Summary => print_summary(options.scale, options.seed),
         Command::UpdatesTrace => print_updates_trace(options.scale, options.seed),
         Command::Ablations => print_ablations(options.scale, options.seed, options.csv),
-        Command::Json | Command::Throughput | Command::Wire | Command::Net => {
+        Command::Json | Command::Throughput | Command::Wire | Command::Net | Command::Hotpath => {
             run_json_command(&options)
         }
         Command::All => {

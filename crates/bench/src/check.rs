@@ -204,12 +204,13 @@ enum MetricClass {
 }
 
 /// Wall-clock and rate metrics, judged by name wherever they appear.
-const TIMING_KEYS: [&str; 9] = [
+const TIMING_KEYS: [&str; 10] = [
     "wall_ms",
     "ingest_wall_s",
     "query_wall_s",
     "updates_per_sec",
     "queries_per_sec",
+    "predicts_per_sec",
     "latency_p50_ms",
     "latency_p99_ms",
     "p50_ms",

@@ -14,12 +14,17 @@
 //! drives the TCP serving layer over loopback as the end-to-end network
 //! baseline. [`check`] is the regression gate: it parses the committed
 //! `baselines/BENCH_*.json` files and compares fresh output against them
-//! with per-metric tolerances (`reproduce <cmd> --check`).
+//! with per-metric tolerances (`reproduce <cmd> --check`). [`hotpath`]
+//! measures the steady-state ingest/query/predict pipeline under the
+//! counting allocator ([`alloccount`]) and pins its allocations-per-
+//! operation at zero.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alloccount;
 pub mod check;
+pub mod hotpath;
 pub mod netbase;
 pub mod throughput;
 pub mod wire;

@@ -1,0 +1,41 @@
+//! The zero-allocation regression test: steady-state ingest, rect/nearest
+//! queries and map prediction must perform **no** heap allocations per
+//! operation. An accidental `clone()` or `Vec` on any of those paths fails
+//! this test in `cargo test`, not just the bench gate.
+//!
+//! This file holds exactly one `#[test]` on purpose: the counting allocator
+//! is process-global, and a sibling test allocating concurrently would bleed
+//! into the measured deltas.
+
+use mbdr_bench::alloccount::{counting_allocator_installed, CountingAllocator};
+use mbdr_bench::hotpath::hotpath_report;
+use mbdr_bench::DEFAULT_SEED;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_ingest_and_queries_do_not_allocate() {
+    assert!(counting_allocator_installed(), "the counting allocator must be active");
+    let report = hotpath_report(0.02, DEFAULT_SEED);
+    assert!(report.counting_allocator);
+    assert_eq!(
+        report.allocs_per_update, 0.0,
+        "steady-state apply_frame_bytes ingest must not allocate"
+    );
+    assert_eq!(
+        report.allocs_per_rect_query, 0.0,
+        "steady-state objects_in_rect_into must not allocate"
+    );
+    assert_eq!(
+        report.allocs_per_nearest_query, 0.0,
+        "steady-state nearest_objects_into must not allocate"
+    );
+    assert_eq!(
+        report.allocs_per_predict, 0.0,
+        "steady-state MapPredictor::predict must not allocate"
+    );
+    // The throughput side of the report stays sane.
+    assert!(report.updates_per_sec > 0.0 && report.queries_per_sec > 0.0);
+    assert_eq!(report.rect_hits, (report.objects * report.queries) as u64);
+}

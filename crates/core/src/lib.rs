@@ -76,4 +76,4 @@ pub use server::ServerTracker;
 pub use state::{ObjectState, Update, UpdateKind};
 pub use time_based::TimeBasedReporting;
 pub use wire::query::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
-pub use wire::{DecodeError, EncodeError, Frame};
+pub use wire::{DecodeError, EncodeError, Frame, FrameView, UpdateView};

@@ -68,43 +68,41 @@ impl MapPredictor {
 
     /// Chooses the outgoing link at `node`, arriving over `arriving` with the
     /// given direction of travel. Returns `None` when the node is a dead end.
+    ///
+    /// Allocation-free: candidates are drawn from the network's adjacency
+    /// slice via [`RoadNetwork::outgoing_links_iter`] and re-iterated for
+    /// multi-pass policies instead of being collected — this runs once per
+    /// link hop inside every map-based prediction, so a fresh `Vec` here
+    /// would put malloc on the predict hot path.
     fn choose_outgoing(
         &self,
         node: NodeId,
         arriving: LinkId,
         arrival_direction: Vec2,
     ) -> Option<LinkId> {
-        let candidates = self.network.outgoing_links(node, Some(arriving));
-        if candidates.is_empty() {
-            return None;
-        }
-        let smallest_angle = |candidates: &[LinkId]| -> Option<LinkId> {
-            candidates.iter().copied().min_by(|&a, &b| {
+        let candidates = || self.network.outgoing_links_iter(node, Some(arriving));
+        let smallest_angle = |iter: &mut dyn Iterator<Item = LinkId>| -> Option<LinkId> {
+            iter.min_by(|&a, &b| {
                 let da = self.departure_angle(a, node, arrival_direction);
                 let db = self.departure_angle(b, node, arrival_direction);
                 da.partial_cmp(&db).expect("angles are finite").then(a.cmp(&b))
             })
         };
         match &self.policy {
-            IntersectionPolicy::SmallestAngle => smallest_angle(&candidates),
+            IntersectionPolicy::SmallestAngle => smallest_angle(&mut candidates()),
             IntersectionPolicy::HighestProbability(table) => table
                 .most_likely(node, arriving)
-                .filter(|l| candidates.contains(l))
-                .or_else(|| smallest_angle(&candidates)),
+                .filter(|&l| candidates().any(|c| c == l))
+                .or_else(|| smallest_angle(&mut candidates())),
             IntersectionPolicy::MainRoad => {
-                let best_priority = candidates
-                    .iter()
-                    .map(|&l| self.network.link(l).class.priority())
-                    .max()
-                    .expect("candidates non-empty");
-                let main: Vec<LinkId> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&l| self.network.link(l).class.priority() == best_priority)
-                    .collect();
-                smallest_angle(&main)
+                let best_priority =
+                    candidates().map(|l| self.network.link(l).class.priority()).max()?;
+                smallest_angle(
+                    &mut candidates()
+                        .filter(|&l| self.network.link(l).class.priority() == best_priority),
+                )
             }
-            IntersectionPolicy::FirstLink => candidates.iter().copied().min(),
+            IntersectionPolicy::FirstLink => candidates().min(),
         }
     }
 

@@ -414,28 +414,178 @@ impl Frame {
 
     /// Decodes a frame from exactly `bytes`. Never panics: truncated or
     /// corrupted buffers report a typed [`DecodeError`].
+    ///
+    /// Shares its single validating walk ([`walk_frame`]) with
+    /// [`FrameView::parse`], so the owned and the borrowed decoder accept
+    /// and reject exactly the same inputs by construction, and each update
+    /// is decoded exactly once. The only extra work here is materialising
+    /// the `Vec<Update>` — ingest paths that do not need an owned frame
+    /// should use [`FrameView`] directly and stay allocation-free.
     pub fn decode(bytes: &[u8]) -> Result<Frame, DecodeError> {
-        let mut reader = Reader::new(bytes);
-        let source = reader.u64()?;
-        let count = reader.u16()?;
-        // The count is untrusted: cap the preallocation by what the buffer
-        // could possibly hold (each update costs at least its length prefix
-        // plus the 42-byte base), so a hostile tiny frame claiming 65535
-        // updates cannot force a multi-megabyte allocation before the first
-        // read fails.
-        let max_plausible = reader.remaining() / (FRAME_LEN_PREFIX + UPDATE_BASE_LEN);
-        let mut updates = Vec::with_capacity((count as usize).min(max_plausible));
-        for _ in 0..count {
-            let len = reader.u16()? as usize;
-            let slice = reader.take(len)?;
-            updates.push(Update::decode(slice)?);
+        // The count is untrusted until the walk finishes: cap the
+        // preallocation by what the buffer could possibly hold (each update
+        // costs at least its length prefix plus the 42-byte base), so a
+        // hostile tiny frame claiming 65535 updates cannot force a
+        // multi-megabyte allocation before the first read fails.
+        let mut updates = Vec::new();
+        if bytes.len() >= FRAME_HEADER_LEN {
+            let claimed = u16::from_be_bytes(bytes[8..10].try_into().expect("2 bytes")) as usize;
+            let max_plausible =
+                (bytes.len() - FRAME_HEADER_LEN) / (FRAME_LEN_PREFIX + UPDATE_BASE_LEN);
+            updates.reserve(claimed.min(max_plausible));
         }
-        if reader.remaining() != 0 {
-            return Err(DecodeError::TrailingBytes(reader.remaining()));
-        }
+        let source = walk_frame(bytes, |u| updates.push(u))?;
         Ok(Frame { source, updates })
     }
 }
+
+/// The one validating walk over an encoded frame, shared by [`Frame::decode`]
+/// and [`FrameView::parse`]: reads the header, decodes every update exactly
+/// once (feeding it to `sink`), and rejects trailing bytes. Having a single
+/// walker is what makes the owned and borrowed decoders equivalent by
+/// construction.
+fn walk_frame(bytes: &[u8], mut sink: impl FnMut(Update)) -> Result<u64, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let source = reader.u64()?;
+    let count = reader.u16()?;
+    for _ in 0..count {
+        let len = reader.u16()? as usize;
+        let slice = reader.take(len)?;
+        sink(Update::decode(slice)?);
+    }
+    if reader.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(reader.remaining()));
+    }
+    Ok(source)
+}
+
+/// A zero-copy, fully validated view over one encoded update.
+///
+/// [`UpdateView::parse`] performs exactly the validation of
+/// [`Update::decode`] (same typed [`DecodeError`]s on the same inputs — the
+/// equivalence is property-tested) but borrows the wire bytes instead of
+/// requiring a dedicated buffer per message. Since [`Update`] is `Copy`, the
+/// decoded value lives on the stack: neither parsing nor [`UpdateView::get`]
+/// ever touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateView<'a> {
+    bytes: &'a [u8],
+    update: Update,
+}
+
+impl<'a> UpdateView<'a> {
+    /// Validates `bytes` as exactly one encoded update and returns the view.
+    /// Accepts and rejects byte-for-byte the same inputs as
+    /// [`Update::decode`].
+    pub fn parse(bytes: &'a [u8]) -> Result<UpdateView<'a>, DecodeError> {
+        Ok(UpdateView { bytes, update: Update::decode(bytes)? })
+    }
+
+    /// The wire bytes the view was parsed from.
+    #[inline]
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Length of the update on the wire, bytes.
+    #[inline]
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The decoded update (a stack value — no allocation).
+    #[inline]
+    pub fn get(&self) -> &Update {
+        &self.update
+    }
+}
+
+/// A zero-copy, fully validated view over one encoded [`Frame`].
+///
+/// [`FrameView::parse`] walks the whole frame once, performing exactly the
+/// validation of [`Frame::decode`] — same typed [`DecodeError`]s on the same
+/// inputs, which is guaranteed structurally because `Frame::decode` *is*
+/// `FrameView::parse` plus a `Vec` — but allocates nothing: the view borrows
+/// the byte buffer, and [`FrameView::updates`] decodes each update into a
+/// stack value on the fly. This is the ingest hot path of the location
+/// service (`apply_frame_bytes`): one frame, zero heap allocations.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    source: u64,
+    count: u16,
+    /// The per-update region (everything after the 10-byte header), already
+    /// validated to contain exactly `count` well-formed updates.
+    payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Validates `bytes` as exactly one encoded frame and returns the view.
+    /// No shard state should be touched on failure: a frame is either
+    /// entirely well-formed or rejected as a whole, exactly like
+    /// [`Frame::decode`] (both run the same [`walk_frame`] pass; here every
+    /// decoded update is a discarded stack copy — no allocation for any
+    /// count the attacker claims).
+    pub fn parse(bytes: &'a [u8]) -> Result<FrameView<'a>, DecodeError> {
+        let mut count = 0u16;
+        let source = walk_frame(bytes, |_| count += 1)?;
+        // A successful walk guarantees the header was present.
+        Ok(FrameView { source, count, payload: &bytes[FRAME_HEADER_LEN..] })
+    }
+
+    /// Identifier of the source all batched updates belong to.
+    #[inline]
+    pub fn source(&self) -> u64 {
+        self.source
+    }
+
+    /// Number of updates in the frame.
+    #[inline]
+    pub fn update_count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Returns `true` if the frame batches no updates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the batched updates, oldest first, decoding each into a
+    /// stack value. Infallible: every update was validated by
+    /// [`FrameView::parse`].
+    pub fn updates(&self) -> FrameUpdates<'a> {
+        FrameUpdates { remaining: self.count, bytes: self.payload }
+    }
+}
+
+/// Iterator over the updates of a [`FrameView`] (see [`FrameView::updates`]).
+#[derive(Debug, Clone)]
+pub struct FrameUpdates<'a> {
+    remaining: u16,
+    bytes: &'a [u8],
+}
+
+impl Iterator for FrameUpdates<'_> {
+    type Item = Update;
+
+    fn next(&mut self) -> Option<Update> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let len = u16::from_be_bytes(self.bytes[..FRAME_LEN_PREFIX].try_into().expect("validated"))
+            as usize;
+        let (slice, rest) = self.bytes[FRAME_LEN_PREFIX..].split_at(len);
+        self.bytes = rest;
+        Some(Update::decode(slice).expect("validated by FrameView::parse"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for FrameUpdates<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -690,5 +840,78 @@ mod tests {
         let bytes = frame.encode().unwrap();
         assert_eq!(bytes.len(), 10);
         assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+        let view = FrameView::parse(&bytes).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.updates().count(), 0);
+    }
+
+    #[test]
+    fn update_view_agrees_with_owned_decode() {
+        let bytes = sample_update().encode().unwrap();
+        let view = UpdateView::parse(&bytes).unwrap();
+        assert_eq!(*view.get(), Update::decode(&bytes).unwrap());
+        assert_eq!(view.bytes(), &bytes[..]);
+        assert_eq!(view.wire_len(), bytes.len());
+        // Every truncation is rejected with the same typed error.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                UpdateView::parse(&bytes[..cut]).err(),
+                Update::decode(&bytes[..cut]).err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_view_iterates_the_batch_without_decoding_to_a_vec() {
+        let mut frame = Frame::new(77);
+        for i in 0..5u64 {
+            let mut u = sample_update();
+            u.sequence = i;
+            u.state.timestamp = 100.0 + i as f64;
+            u.state.link = (i % 2 == 0).then_some(LinkId(42));
+            if u.state.link.is_none() {
+                u.state.towards = None;
+            }
+            frame.push(u);
+        }
+        let bytes = frame.encode().unwrap();
+        let view = FrameView::parse(&bytes).unwrap();
+        assert_eq!(view.source(), 77);
+        assert_eq!(view.update_count(), 5);
+        assert_eq!(view.updates().len(), 5);
+        let owned = Frame::decode(&bytes).unwrap();
+        let viewed: Vec<Update> = view.updates().collect();
+        assert_eq!(viewed, owned.updates);
+    }
+
+    #[test]
+    fn frame_view_rejects_exactly_what_owned_decode_rejects() {
+        let frame = Frame::single(1, sample_update());
+        let bytes = frame.encode().unwrap();
+        // Truncations at every offset and single-byte corruptions at every
+        // offset must produce identical verdicts (Frame::decode delegates to
+        // FrameView::parse, so this is regression armor for that contract).
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                FrameView::parse(&bytes[..cut]).err(),
+                Frame::decode(&bytes[..cut]).err(),
+                "cut at {cut}"
+            );
+            assert!(FrameView::parse(&bytes[..cut]).is_err());
+        }
+        for at in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[at] ^= 0xFF;
+            let view = FrameView::parse(&damaged);
+            let owned = Frame::decode(&damaged);
+            match (view, owned) {
+                (Ok(v), Ok(o)) => {
+                    assert_eq!(v.updates().collect::<Vec<_>>(), o.updates, "byte {at}")
+                }
+                (Err(ve), Err(oe)) => assert_eq!(ve, oe, "byte {at}"),
+                (v, o) => panic!("byte {at}: view {v:?} vs owned {o:?}"),
+            }
+        }
     }
 }

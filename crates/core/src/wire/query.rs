@@ -108,14 +108,32 @@ impl Request {
     /// the whole payload twice.
     pub fn encode_ingest(frame: &Frame) -> Result<Vec<u8>, EncodeError> {
         let mut buf = Vec::with_capacity(1 + frame.encoded_len());
-        buf.push(REQ_INGEST);
-        frame.encode_into(&mut buf)?;
+        Self::encode_ingest_into(frame, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Appends an encoded ingest request for `frame` to `buf` — the
+    /// allocation-free variant of [`Request::encode_ingest`]: a producer that
+    /// clears and reuses one send buffer per connection allocates nothing per
+    /// frame in steady state. On error the buffer may hold a partial
+    /// encoding; discard (clear) it.
+    pub fn encode_ingest_into(frame: &Frame, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
+        buf.reserve(1 + frame.encoded_len());
+        buf.push(REQ_INGEST);
+        frame.encode_into(buf)
     }
 
     /// Encodes the request (kind byte + payload; see the module docs).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(48);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Appends the encoded request to `buf` — the reusable-buffer variant of
+    /// [`Request::encode`] for callers that send many requests over one
+    /// connection.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Request::Ingest(frame_bytes) => {
                 buf.reserve(frame_bytes.len());
@@ -124,7 +142,7 @@ impl Request {
             }
             Request::Rect { area, t } => {
                 buf.push(REQ_RECT);
-                push_aabb(&mut buf, area);
+                push_aabb(buf, area);
                 buf.extend_from_slice(&t.to_be_bytes());
             }
             Request::Nearest { from, t, k } => {
@@ -137,7 +155,7 @@ impl Request {
             Request::ZoneSubscribe { zone, area } => {
                 buf.push(REQ_ZONE_SUBSCRIBE);
                 buf.extend_from_slice(&zone.to_be_bytes());
-                push_aabb(&mut buf, area);
+                push_aabb(buf, area);
             }
             Request::ZonePoll { t } => {
                 buf.push(REQ_ZONE_POLL);
@@ -145,7 +163,6 @@ impl Request {
             }
             Request::Flush => buf.push(REQ_FLUSH),
         }
-        buf
     }
 
     /// Like [`Request::decode`], but takes ownership of the buffer so an
@@ -274,36 +291,94 @@ pub enum Response {
     Error(ServeError),
 }
 
+/// Appends an encoded positions response (kind byte + count + records) to
+/// `buf` — the single definition of the layout, shared by
+/// [`Response::encode`] and by serving layers that write answers from a
+/// reusable record buffer without building a [`Response`] value (zero
+/// allocations per response in steady state).
+pub fn encode_positions_into(
+    records: &[PositionRecord],
+    buf: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
+    let count = list_count(records.len())?;
+    buf.reserve(1 + 4 + records.len() * POSITION_RECORD_LEN);
+    buf.push(RESP_POSITIONS);
+    buf.extend_from_slice(&count.to_be_bytes());
+    for r in records {
+        buf.extend_from_slice(&r.object.to_be_bytes());
+        buf.extend_from_slice(&r.position.x.to_be_bytes());
+        buf.extend_from_slice(&r.position.y.to_be_bytes());
+        buf.extend_from_slice(&r.information_age.to_be_bytes());
+    }
+    Ok(())
+}
+
+/// Appends an encoded zone-events response to `buf` (see
+/// [`encode_positions_into`] for the rationale).
+pub fn encode_zone_events_into(
+    events: &[ZoneEventRecord],
+    buf: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
+    let count = list_count(events.len())?;
+    buf.reserve(1 + 4 + events.len() * ZONE_EVENT_LEN);
+    buf.push(RESP_ZONE_EVENTS);
+    buf.extend_from_slice(&count.to_be_bytes());
+    for e in events {
+        buf.extend_from_slice(&e.zone.to_be_bytes());
+        buf.extend_from_slice(&e.object.to_be_bytes());
+        buf.push(u8::from(e.entered));
+        buf.extend_from_slice(&e.t.to_be_bytes());
+    }
+    Ok(())
+}
+
+/// Decodes a positions response into a caller-provided buffer (cleared
+/// first) — the reusable-buffer counterpart of [`Response::decode`] for
+/// query clients that issue many rect/nearest requests per connection.
+/// Rejects non-positions responses with [`DecodeError::InvalidKind`] and is
+/// otherwise byte-for-byte equivalent to `Response::decode` on positions.
+pub fn decode_positions_into(
+    bytes: &[u8],
+    records: &mut Vec<PositionRecord>,
+) -> Result<(), DecodeError> {
+    records.clear();
+    let mut reader = Reader::new(bytes);
+    let kind = reader.u8()?;
+    if kind != RESP_POSITIONS {
+        return Err(DecodeError::InvalidKind(kind));
+    }
+    let count = reader.u32()? as usize;
+    // Untrusted count: cap the reservation by what the buffer actually holds.
+    records.reserve(count.min(reader.remaining() / POSITION_RECORD_LEN));
+    for _ in 0..count {
+        let object = reader.u64()?;
+        let x = finite(reader.f64()?)?;
+        let y = finite(reader.f64()?)?;
+        let information_age = finite(reader.f64()?)?;
+        records.push(PositionRecord { object, position: Point::new(x, y), information_age });
+    }
+    if reader.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(reader.remaining()));
+    }
+    Ok(())
+}
+
 impl Response {
     /// Encodes the response (kind byte + payload; see the module docs).
     /// Fails only if a record list exceeds the 32-bit count field.
     pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
         let mut buf = Vec::with_capacity(32);
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Appends the encoded response to `buf` — the reusable-buffer variant
+    /// of [`Response::encode`]. On error the buffer may hold a partial
+    /// encoding; discard (clear) it.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
         match self {
-            Response::Positions(records) => {
-                let count = list_count(records.len())?;
-                buf.reserve(records.len() * POSITION_RECORD_LEN);
-                buf.push(RESP_POSITIONS);
-                buf.extend_from_slice(&count.to_be_bytes());
-                for r in records {
-                    buf.extend_from_slice(&r.object.to_be_bytes());
-                    buf.extend_from_slice(&r.position.x.to_be_bytes());
-                    buf.extend_from_slice(&r.position.y.to_be_bytes());
-                    buf.extend_from_slice(&r.information_age.to_be_bytes());
-                }
-            }
-            Response::ZoneEvents(events) => {
-                let count = list_count(events.len())?;
-                buf.reserve(events.len() * ZONE_EVENT_LEN);
-                buf.push(RESP_ZONE_EVENTS);
-                buf.extend_from_slice(&count.to_be_bytes());
-                for e in events {
-                    buf.extend_from_slice(&e.zone.to_be_bytes());
-                    buf.extend_from_slice(&e.object.to_be_bytes());
-                    buf.push(u8::from(e.entered));
-                    buf.extend_from_slice(&e.t.to_be_bytes());
-                }
-            }
+            Response::Positions(records) => encode_positions_into(records, buf)?,
+            Response::ZoneEvents(events) => encode_zone_events_into(events, buf)?,
             Response::FlushDone { frames, updates_applied } => {
                 buf.push(RESP_FLUSH_DONE);
                 buf.extend_from_slice(&frames.to_be_bytes());
@@ -314,7 +389,7 @@ impl Response {
                 buf.push(code.to_wire());
             }
         }
-        Ok(buf)
+        Ok(())
     }
 
     /// Decodes a response from exactly `bytes`. Never panics: truncated or
@@ -521,6 +596,55 @@ mod tests {
         let mut bytes = Request::Nearest { from: Point::new(0.0, 0.0), t: 0.0, k: 1 }.encode();
         bytes[1..9].copy_from_slice(&f64::INFINITY.to_be_bytes());
         assert_eq!(Request::decode(&bytes), Err(DecodeError::NonFinite));
+    }
+
+    #[test]
+    fn buffer_reuse_variants_agree_with_the_allocating_ones() {
+        // Slice encoders produce byte-for-byte what Response::encode does.
+        for response in sample_responses() {
+            let owned = response.encode().unwrap();
+            let mut reused = Vec::new();
+            reused.extend_from_slice(b"garbage-from-last-time");
+            reused.clear();
+            response.encode_into(&mut reused).unwrap();
+            assert_eq!(reused, owned, "{response:?}");
+        }
+        // decode_positions_into agrees with Response::decode on positions
+        // (and clears stale contents first).
+        let response = &sample_responses()[0];
+        let bytes = response.encode().unwrap();
+        let mut records = vec![PositionRecord {
+            object: 999,
+            position: Point::new(0.0, 0.0),
+            information_age: 0.0,
+        }];
+        decode_positions_into(&bytes, &mut records).unwrap();
+        assert_eq!(Response::Positions(records.clone()), *response);
+        // Non-positions responses are refused with a typed error.
+        let flush = Response::FlushDone { frames: 1, updates_applied: 2 }.encode().unwrap();
+        assert_eq!(
+            decode_positions_into(&flush, &mut records),
+            Err(DecodeError::InvalidKind(RESP_FLUSH_DONE))
+        );
+        // Truncations report the same typed errors as Response::decode.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_positions_into(&bytes[..cut], &mut records).err(),
+                Response::decode(&bytes[..cut]).err(),
+                "cut at {cut}"
+            );
+        }
+        // Request::encode_into matches Request::encode for every kind.
+        for request in sample_requests() {
+            let mut reused = Vec::new();
+            request.encode_into(&mut reused);
+            assert_eq!(reused, request.encode(), "{request:?}");
+        }
+        // encode_ingest_into appends exactly what encode_ingest returns.
+        let frame = Frame::new(9);
+        let mut reused = Vec::new();
+        Request::encode_ingest_into(&frame, &mut reused).unwrap();
+        assert_eq!(reused, Request::encode_ingest(&frame).unwrap());
     }
 
     #[test]

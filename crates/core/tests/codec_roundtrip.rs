@@ -4,7 +4,7 @@
 //! of panics.
 
 use mbdr_core::wire::TOWARDS_NONE_WIRE;
-use mbdr_core::{DecodeError, Frame, ObjectState, Update, UpdateKind};
+use mbdr_core::{DecodeError, Frame, FrameView, ObjectState, Update, UpdateKind, UpdateView};
 use mbdr_geo::Point;
 use mbdr_roadnet::{LinkId, NodeId};
 use proptest::prelude::*;
@@ -129,5 +129,79 @@ proptest! {
         u.state.towards = Some(NodeId(TOWARDS_NONE_WIRE));
         prop_assert!(u.encode().is_err());
         prop_assert!(Frame::single(0, u).encode().is_err());
+    }
+
+    #[test]
+    fn update_view_agrees_with_owned_decode_on_valid_input(u in arb_update()) {
+        let bytes = u.encode().unwrap();
+        let view = UpdateView::parse(&bytes).expect("own encoding parses");
+        prop_assert_eq!(*view.get(), Update::decode(&bytes).unwrap());
+        prop_assert_eq!(view.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn frame_view_agrees_with_owned_decode_on_valid_input(
+        updates in proptest::collection::vec(arb_update(), 0..12),
+        source in 0u64..u64::MAX,
+    ) {
+        let frame = Frame { source, updates };
+        let bytes = frame.encode().unwrap();
+        let view = FrameView::parse(&bytes).expect("own encoding parses");
+        let owned = Frame::decode(&bytes).unwrap();
+        prop_assert_eq!(view.source(), owned.source);
+        prop_assert_eq!(view.update_count(), owned.updates.len());
+        prop_assert_eq!(view.updates().collect::<Vec<_>>(), owned.updates);
+    }
+
+    #[test]
+    fn views_reject_exactly_what_owned_decode_rejects(
+        updates in proptest::collection::vec(arb_update(), 0..6),
+        source in 0u64..u64::MAX,
+        frac in 0.0..1.0f64,
+        flip_at in 0usize..512,
+        flip in 1u8..255,
+    ) {
+        // Damage a valid frame two ways — truncation at an arbitrary offset
+        // and a single-byte corruption (which can forge bad kinds, bad
+        // flags, NaN floats or inconsistent lengths) — and require the
+        // borrowed and the owned decoder to return the *same* typed verdict.
+        let frame = Frame { source, updates };
+        let bytes = frame.encode().unwrap();
+
+        let cut = ((bytes.len() as f64 * frac) as usize).min(bytes.len());
+        let truncated = &bytes[..cut];
+        match (FrameView::parse(truncated), Frame::decode(truncated)) {
+            (Ok(view), Ok(owned)) => {
+                prop_assert_eq!(view.updates().collect::<Vec<_>>(), owned.updates);
+            }
+            (Err(ve), Err(oe)) => prop_assert_eq!(ve, oe),
+            (view, owned) => panic!("cut {cut}: view {view:?} vs owned {owned:?}"),
+        }
+
+        let mut damaged = bytes.clone();
+        let at = flip_at % damaged.len().max(1);
+        if !damaged.is_empty() {
+            damaged[at] ^= flip;
+        }
+        match (FrameView::parse(&damaged), Frame::decode(&damaged)) {
+            (Ok(view), Ok(owned)) => {
+                prop_assert_eq!(view.updates().collect::<Vec<_>>(), owned.updates);
+            }
+            (Err(ve), Err(oe)) => prop_assert_eq!(ve, oe),
+            (view, owned) => panic!("flip at {at}: view {view:?} vs owned {owned:?}"),
+        }
+
+        // Single updates: same contract for UpdateView vs Update::decode.
+        if let Some(u) = frame.updates.first() {
+            let ubytes = u.encode().unwrap();
+            let mut udamaged = ubytes.clone();
+            let uat = at % udamaged.len();
+            udamaged[uat] ^= flip;
+            match (UpdateView::parse(&udamaged), Update::decode(&udamaged)) {
+                (Ok(view), Ok(owned)) => prop_assert_eq!(*view.get(), owned),
+                (Err(ve), Err(oe)) => prop_assert_eq!(ve, oe),
+                (view, owned) => panic!("update flip: view {view:?} vs owned {owned:?}"),
+            }
+        }
     }
 }

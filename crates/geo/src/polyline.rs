@@ -112,36 +112,51 @@ impl Polyline {
     }
 
     /// The point at arc length `s` from the start, clamped to `[0, length]`.
+    ///
+    /// One `O(log n)` binary search over the precomputed cumulative table —
+    /// no per-call allocation and no linear walk over the segments, however
+    /// long the link. This (together with [`Polyline::sample_at_arc_length`])
+    /// is the inner loop of map-based prediction: every client deviation
+    /// check and every server query-time prediction lands here.
     pub fn point_at_arc_length(&self, s: f64) -> Point {
         if s <= 0.0 {
             return self.first();
         }
-        let total = self.length();
-        if s >= total {
+        if s >= self.length() {
             return self.last();
         }
-        // Binary search for the segment containing arc length `s`.
-        let idx = match self.cumulative.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
-            Ok(i) => i.min(self.segment_count() - 1),
-            Err(i) => i - 1,
-        };
-        let seg = self.segment(idx);
-        seg.point_at_distance(s - self.cumulative[idx])
+        let idx = self.segment_index_at(s);
+        self.segment(idx).point_at_distance(s - self.cumulative[idx])
     }
 
     /// Heading (radians clockwise from north) of the segment containing arc
-    /// length `s`.
+    /// length `s` (binary search, like [`Polyline::point_at_arc_length`]).
     pub fn heading_at_arc_length(&self, s: f64) -> f64 {
         let idx = self.segment_index_at(s);
         self.segment(idx).heading()
     }
 
-    /// Direction (unit vector) of the segment containing arc length `s`.
+    /// Direction (unit vector) of the segment containing arc length `s`
+    /// (binary search, like [`Polyline::point_at_arc_length`]).
     pub fn direction_at_arc_length(&self, s: f64) -> Vec2 {
         let idx = self.segment_index_at(s);
         self.segment(idx).unit_direction()
     }
 
+    /// The point *and* travel direction at arc length `s`, resolved with a
+    /// single binary search — for callers (the map predictor's
+    /// heading-disambiguation step) that would otherwise pay two lookups on
+    /// the same arc length.
+    pub fn sample_at_arc_length(&self, s: f64) -> (Point, Vec2) {
+        let idx = self.segment_index_at(s);
+        let seg = self.segment(idx);
+        let along = (s - self.cumulative[idx]).clamp(0.0, seg.length());
+        (seg.point_at_distance(along), seg.unit_direction())
+    }
+
+    /// Index of the segment containing arc length `s` (clamped to the valid
+    /// range): an `O(log n)` binary search over the cumulative arc-length
+    /// table built once at construction.
     fn segment_index_at(&self, s: f64) -> usize {
         if s <= 0.0 {
             return 0;
@@ -255,6 +270,16 @@ mod tests {
         let p = ell();
         assert!(approx_eq(p.heading_at_arc_length(5.0), std::f64::consts::FRAC_PI_2));
         assert!(approx_eq(p.heading_at_arc_length(15.0), 0.0));
+    }
+
+    #[test]
+    fn sample_agrees_with_the_separate_lookups() {
+        let p = ell();
+        for s in [-3.0, 0.0, 4.5, 10.0, 13.0, 20.0, 50.0] {
+            let (point, direction) = p.sample_at_arc_length(s);
+            assert_eq!(point, p.point_at_arc_length(s), "s={s}");
+            assert_eq!(direction, p.direction_at_arc_length(s), "s={s}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::config::ServiceConfig;
 use crate::shard::Shard;
-use mbdr_core::{DecodeError, Frame, Predictor, Update};
+use mbdr_core::{DecodeError, Frame, FrameView, Predictor, Update};
 use mbdr_geo::{Aabb, Point};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -28,6 +28,23 @@ pub struct PositionReport {
     pub position: Point,
     /// Age of the newest update this prediction is based on, seconds.
     pub information_age: f64,
+}
+
+/// Reusable buffers for the query hot paths
+/// ([`LocationService::objects_in_rect_into`],
+/// [`LocationService::nearest_objects_into`]).
+///
+/// Queries take shard *read* locks, so many readers run concurrently — the
+/// scratch therefore belongs to the caller (one per connection or query
+/// thread), not to the service: each reader reuses its own buffers and the
+/// steady-state allocation count per query is zero once the buffers have
+/// reached their high-water capacity.
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Spatial-index candidate keys (see `MovingIndex::query_keys_into`).
+    pub(crate) keys: Vec<ObjectId>,
+    /// Nearest-query candidates: exact distance + report.
+    near: Vec<(f64, PositionReport)>,
 }
 
 /// A thread-safe, lock-striped location service tracking many objects.
@@ -159,8 +176,21 @@ impl LocationService {
     /// Decodes an encoded frame straight off the wire and ingests it — the
     /// receive path of the uplink protocol. Truncated or corrupted buffers
     /// report the codec's typed error instead of touching any shard.
+    ///
+    /// Zero-copy: the frame is validated and consumed through a borrowed
+    /// [`FrameView`], decoding each update into a stack value under the
+    /// shard's single write-lock hold — no intermediate `Vec<Update>` is
+    /// ever built, so steady-state ingest performs no heap allocation (the
+    /// property the `mbdr-bench` counting-allocator gate enforces).
     pub fn apply_frame_bytes(&self, bytes: &[u8]) -> Result<usize, DecodeError> {
-        Ok(self.apply_frame(&Frame::decode(bytes)?))
+        let view = FrameView::parse(bytes)?;
+        if view.is_empty() {
+            return Ok(0);
+        }
+        let object = ObjectId(view.source());
+        Ok(self
+            .shard_of(object)
+            .write(|s| view.updates().filter(|u| s.apply_update(object, u)).count()))
     }
 
     /// Total write-lock acquisitions across all stripes — a cheap diagnostic
@@ -182,13 +212,36 @@ impl LocationService {
     ///
     /// Index-pruned: only objects whose conservative index box intersects
     /// `area` are examined, never the whole store.
+    ///
+    /// Allocates the result `Vec` (plus internal scratch) per call — hot
+    /// callers should hold a [`QueryScratch`] and a result buffer and use
+    /// [`LocationService::objects_in_rect_into`] instead.
     pub fn objects_in_rect(&self, area: &Aabb, t: f64) -> Vec<PositionReport> {
+        let mut scratch = QueryScratch::default();
         let mut out = Vec::new();
-        for shard in &self.shards {
-            shard.read_fresh(t, |s| s.collect_in_rect(area, t, &mut out));
-        }
-        out.sort_by_key(|r| r.object);
+        self.objects_in_rect_into(area, t, &mut scratch, &mut out);
         out
+    }
+
+    /// The reusable-buffer form of [`LocationService::objects_in_rect`]:
+    /// writes the answer into `out` (cleared first), using `scratch` for the
+    /// spatial-index candidate walk. Identical results; with warm buffers a
+    /// query performs **zero** heap allocations (enforced by the
+    /// counting-allocator gate in `mbdr-bench`).
+    pub fn objects_in_rect_into(
+        &self,
+        area: &Aabb,
+        t: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<PositionReport>,
+    ) {
+        out.clear();
+        for shard in &self.shards {
+            shard.read_fresh(t, |s| s.collect_in_rect(area, t, &mut scratch.keys, out));
+        }
+        // Unstable sort: object ids are unique, so the order is total and
+        // deterministic, and no stable-sort temp buffer is allocated.
+        out.sort_unstable_by_key(|r| r.object);
     }
 
     /// The `k` objects whose predicted positions at time `t` are nearest to
@@ -199,15 +252,37 @@ impl LocationService {
     /// (or the ring provably covers every object), so dense fleets never get
     /// fully scanned. The candidate set is cut down with a partial selection
     /// (`select_nth_unstable_by`) instead of a full sort.
+    ///
+    /// Allocates the result `Vec` (plus internal scratch) per call — hot
+    /// callers should use [`LocationService::nearest_objects_into`].
     pub fn nearest_objects(&self, from: &Point, t: f64, k: usize) -> Vec<PositionReport> {
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.nearest_objects_into(from, t, k, &mut scratch, &mut out);
+        out
+    }
+
+    /// The reusable-buffer form of [`LocationService::nearest_objects`]:
+    /// writes the answer into `out` (cleared first), keeping the ring
+    /// search's candidate set in `scratch`. Identical results; with warm
+    /// buffers a query performs zero heap allocations.
+    pub fn nearest_objects_into(
+        &self,
+        from: &Point,
+        t: f64,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<PositionReport>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         let cmp = |a: &(f64, PositionReport), b: &(f64, PositionReport)| {
             a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object))
         };
         let mut radius = self.config.cell_size_m;
-        let mut candidates: Vec<(f64, PositionReport)> = Vec::new();
+        let QueryScratch { keys, near: candidates } = scratch;
         loop {
             candidates.clear();
             // The termination extent is recomputed inside the same lock hold
@@ -218,7 +293,7 @@ impl LocationService {
             let mut extent = self.config.cell_size_m;
             for shard in &self.shards {
                 shard.read_fresh(t, |s| {
-                    s.collect_near(from, radius, t, &mut candidates);
+                    s.collect_near(from, radius, t, keys, candidates);
                     extent = extent.max(s.extent_radius(from));
                 });
             }
@@ -231,8 +306,11 @@ impl LocationService {
             });
             if kth.is_some_and(|d| d <= radius) || radius >= extent {
                 let take = k.min(candidates.len());
-                candidates[..take].sort_by(cmp);
-                return candidates[..take].iter().map(|(_, r)| *r).collect();
+                // Unstable sort on a total order (unique id tiebreak):
+                // deterministic and allocation-free.
+                candidates[..take].sort_unstable_by(cmp);
+                out.extend(candidates[..take].iter().map(|(_, r)| *r));
+                return;
             }
             radius = (radius * 2.0).max(kth.unwrap_or(0.0)).min(extent);
         }
@@ -478,6 +556,25 @@ mod tests {
         // Corrupted bytes report the codec's typed error without panicking.
         assert!(s.apply_frame_bytes(&bytes[..bytes.len() - 3]).is_err());
         assert_eq!(s.total_updates(), 5);
+    }
+
+    #[test]
+    fn buffer_reuse_queries_agree_with_the_allocating_ones() {
+        let s = service_with_three_cars();
+        let mut scratch = QueryScratch::default();
+        // Stale buffer contents must be cleared, not appended to.
+        let mut out = vec![PositionReport {
+            object: ObjectId(999),
+            position: Point::ORIGIN,
+            information_age: 0.0,
+        }];
+        let area = Aabb::new(Point::new(-10.0, -10.0), Point::new(150.0, 50.0));
+        s.objects_in_rect_into(&area, 1.0, &mut scratch, &mut out);
+        assert_eq!(out, s.objects_in_rect(&area, 1.0));
+        for k in [0, 1, 2, 10] {
+            s.nearest_objects_into(&Point::new(90.0, 0.0), 1.0, k, &mut scratch, &mut out);
+            assert_eq!(out, s.nearest_objects(&Point::new(90.0, 0.0), 1.0, k), "k={k}");
+        }
     }
 
     #[test]

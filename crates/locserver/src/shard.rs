@@ -221,32 +221,43 @@ impl ShardState {
 
     /// Index-pruned range query: appends every object whose predicted position
     /// at `t` lies inside `area`. Callers must have refreshed expiries ≥ `t`.
-    pub(crate) fn collect_in_rect(&self, area: &Aabb, t: f64, out: &mut Vec<PositionReport>) {
-        for entry in self.index.query_rect(area) {
+    /// `keys` is reusable candidate scratch (see
+    /// [`MovingIndex::for_each_in_rect`]) — with warm buffers this performs
+    /// zero heap allocations.
+    pub(crate) fn collect_in_rect(
+        &self,
+        area: &Aabb,
+        t: f64,
+        keys: &mut Vec<ObjectId>,
+        out: &mut Vec<PositionReport>,
+    ) {
+        self.index.for_each_in_rect(area, keys, |entry| {
             if let Some(r) = self.report_for(entry.item, t) {
                 if area.contains(&r.position) {
                     out.push(r);
                 }
             }
-        }
+        });
     }
 
     /// Index-pruned nearest-candidate collection: appends `(distance, report)`
     /// for every object whose index box intersects the square of half-width
     /// `radius` around `from`. Conservative: every object whose *exact*
-    /// predicted position is within `radius` of `from` is included.
+    /// predicted position is within `radius` of `from` is included. `keys` is
+    /// reusable candidate scratch, as in [`ShardState::collect_in_rect`].
     pub(crate) fn collect_near(
         &self,
         from: &Point,
         radius: f64,
         t: f64,
+        keys: &mut Vec<ObjectId>,
         out: &mut Vec<(f64, PositionReport)>,
     ) {
-        for entry in self.index.query_rect(&Aabb::around(*from, radius)) {
+        self.index.for_each_in_rect(&Aabb::around(*from, radius), keys, |entry| {
             if let Some(r) = self.report_for(entry.item, t) {
                 out.push((from.distance(&r.position), r));
             }
-        }
+        });
     }
 
     /// A radius from `from` guaranteed to cover every indexed entry.

@@ -7,7 +7,8 @@
 //! connection per producer or query thread, exactly like the workloads do.
 
 use crate::error::NetError;
-use crate::transport::{read_message, write_message, DEFAULT_MAX_MESSAGE_BYTES};
+use crate::transport::{read_message_into, write_message, DEFAULT_MAX_MESSAGE_BYTES};
+use mbdr_core::wire::query::decode_positions_into;
 use mbdr_core::{Frame, PositionRecord, Request, Response, ZoneEventRecord};
 use mbdr_geo::{Aabb, Point};
 use std::io::BufReader;
@@ -28,6 +29,11 @@ pub struct NetClient {
     writer: TcpStream,
     max_message_bytes: u32,
     bytes_sent: u64,
+    /// Reusable outgoing-message encode buffer (zero allocations per frame
+    /// in steady state).
+    send_buf: Vec<u8>,
+    /// Reusable incoming-message body buffer.
+    recv_buf: Vec<u8>,
 }
 
 impl NetClient {
@@ -41,6 +47,8 @@ impl NetClient {
             writer,
             max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
             bytes_sent: 0,
+            send_buf: Vec::new(),
+            recv_buf: Vec::new(),
         })
     }
 
@@ -69,10 +77,17 @@ impl NetClient {
     /// for ingest and answers nothing — call [`NetClient::flush`] for the
     /// write barrier.
     pub fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
-        // Single-pass encode: kind byte + frame in one buffer, instead of
-        // encoding the frame and copying it again into a request buffer.
-        let body = Request::encode_ingest(frame)?;
-        self.send_body(&body)
+        // Single-pass encode into the connection's reusable buffer: kind
+        // byte + frame, no allocation per frame once the buffer is warm.
+        let mut body = std::mem::take(&mut self.send_buf);
+        body.clear();
+        let encoded = Request::encode_ingest_into(frame, &mut body);
+        let result = match encoded {
+            Ok(()) => self.send_body(&body),
+            Err(e) => Err(e.into()),
+        };
+        self.send_buf = body;
+        result
     }
 
     /// The write barrier: returns once every frame previously sent on this
@@ -97,6 +112,18 @@ impl NetClient {
         self.positions(&Request::Rect { area: *area, t })
     }
 
+    /// The reusable-buffer form of [`NetClient::objects_in_rect`]: decodes
+    /// the answer into `out` (cleared first), so a query loop that holds one
+    /// record buffer allocates nothing per response in steady state.
+    pub fn objects_in_rect_into(
+        &mut self,
+        area: &Aabb,
+        t: f64,
+        out: &mut Vec<PositionRecord>,
+    ) -> Result<(), NetError> {
+        self.positions_into(&Request::Rect { area: *area, t }, out)
+    }
+
     /// "The `k` objects nearest to `from` at time `t`" over the wire.
     pub fn nearest_objects(
         &mut self,
@@ -105,6 +132,18 @@ impl NetClient {
         k: u16,
     ) -> Result<Vec<PositionRecord>, NetError> {
         self.positions(&Request::Nearest { from: *from, t, k })
+    }
+
+    /// The reusable-buffer form of [`NetClient::nearest_objects`] (see
+    /// [`NetClient::objects_in_rect_into`]).
+    pub fn nearest_objects_into(
+        &mut self,
+        from: &Point,
+        t: f64,
+        k: u16,
+        out: &mut Vec<PositionRecord>,
+    ) -> Result<(), NetError> {
+        self.positions_into(&Request::Nearest { from: *from, t, k }, out)
     }
 
     /// Registers a zone on this connection's server-side watcher.
@@ -126,17 +165,42 @@ impl NetClient {
     }
 
     fn positions(&mut self, request: &Request) -> Result<Vec<PositionRecord>, NetError> {
+        let mut records = Vec::new();
+        self.positions_into(request, &mut records)?;
+        Ok(records)
+    }
+
+    fn positions_into(
+        &mut self,
+        request: &Request,
+        out: &mut Vec<PositionRecord>,
+    ) -> Result<(), NetError> {
         self.send(request)?;
-        match self.receive()? {
-            Response::Positions(records) => Ok(records),
-            Response::Error(code) => Err(NetError::Server(code)),
-            _ => Err(NetError::UnexpectedResponse("positions")),
+        if !read_message_into(&mut self.reader, self.max_message_bytes, &mut self.recv_buf)? {
+            return Err(NetError::Closed);
+        }
+        match decode_positions_into(&self.recv_buf, out) {
+            Ok(()) => Ok(()),
+            // Not a positions response: fall back to the full decoder so
+            // server errors surface as such, not as decode failures.
+            Err(_) => match Response::decode(&self.recv_buf)? {
+                Response::Positions(records) => {
+                    *out = records;
+                    Ok(())
+                }
+                Response::Error(code) => Err(NetError::Server(code)),
+                _ => Err(NetError::UnexpectedResponse("positions")),
+            },
         }
     }
 
     fn send(&mut self, request: &Request) -> Result<(), NetError> {
-        let body = request.encode();
-        self.send_body(&body)
+        let mut body = std::mem::take(&mut self.send_buf);
+        body.clear();
+        request.encode_into(&mut body);
+        let result = self.send_body(&body);
+        self.send_buf = body;
+        result
     }
 
     fn send_body(&mut self, body: &[u8]) -> Result<(), NetError> {
@@ -154,9 +218,10 @@ impl NetClient {
     }
 
     fn receive(&mut self) -> Result<Response, NetError> {
-        match read_message(&mut self.reader, self.max_message_bytes)? {
-            Some(body) => Ok(Response::decode(&body)?),
-            None => Err(NetError::Closed),
+        if read_message_into(&mut self.reader, self.max_message_bytes, &mut self.recv_buf)? {
+            Ok(Response::decode(&self.recv_buf)?)
+        } else {
+            Err(NetError::Closed)
         }
     }
 }

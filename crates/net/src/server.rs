@@ -39,9 +39,12 @@
 
 use crate::error::NetError;
 use crate::stats::{ServerStats, ServerStatsSnapshot};
-use crate::transport::{read_message, write_message, DEFAULT_MAX_MESSAGE_BYTES};
+use crate::transport::{read_message_into, write_message, DEFAULT_MAX_MESSAGE_BYTES};
+use mbdr_core::wire::query::{encode_positions_into, encode_zone_events_into};
 use mbdr_core::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
-use mbdr_locserver::{LocationService, PositionReport, ZoneEventKind, ZoneWatcher};
+use mbdr_locserver::{
+    LocationService, PositionReport, QueryScratch, ZoneEvent, ZoneEventKind, ZoneWatcher,
+};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -317,6 +320,43 @@ fn accept_loop(
     }
 }
 
+/// Per-connection reusable resources: read/write buffers, query scratch and
+/// the zone watcher. Everything here is cleared and refilled per request, so
+/// in steady state the query phase of a connection allocates nothing — the
+/// buffers grow to their high-water marks and stay there.
+struct ConnState {
+    watcher: ZoneWatcher,
+    /// Wire zone id per watcher zone index (dense; `ZoneWatcher::add_zone`
+    /// hands out consecutive indexes), so mapping a poll event back to the
+    /// wire id is an array lookup — no string hashing on the poll path.
+    zone_wire_ids: Vec<u32>,
+    /// Incoming message bodies (reused across reads).
+    body: Vec<u8>,
+    /// Outgoing response encoding buffer.
+    write_buf: Vec<u8>,
+    scratch: QueryScratch,
+    reports: Vec<PositionReport>,
+    records: Vec<PositionRecord>,
+    zone_events: Vec<ZoneEvent>,
+    event_records: Vec<ZoneEventRecord>,
+}
+
+impl ConnState {
+    fn new() -> Self {
+        ConnState {
+            watcher: ZoneWatcher::new(),
+            zone_wire_ids: Vec::new(),
+            body: Vec::new(),
+            write_buf: Vec::new(),
+            scratch: QueryScratch::default(),
+            reports: Vec::new(),
+            records: Vec::new(),
+            zone_events: Vec::new(),
+            event_records: Vec::new(),
+        }
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     conn: &Arc<ConnShared>,
@@ -326,11 +366,10 @@ fn serve_connection(
     max_message_bytes: u32,
 ) {
     let mut reader = BufReader::new(stream);
-    let mut watcher = ZoneWatcher::new();
-    let mut zone_ids: HashMap<String, u32> = HashMap::new();
+    let mut st = ConnState::new();
     loop {
-        match read_message(&mut reader, max_message_bytes) {
-            Ok(None) => {
+        match read_message_into(&mut reader, max_message_bytes, &mut st.body) {
+            Ok(false) => {
                 // A worker tearing the socket down on a bad frame surfaces
                 // here as EOF too: the failure flag tells the two apart.
                 // Frames can still be in this connection's queue (a client
@@ -346,11 +385,12 @@ fn serve_connection(
                 }
                 return;
             }
-            Ok(Some(body)) => {
-                ServerStats::add(&stats.bytes_received, 4 + body.len() as u64);
-                // decode_owned hands an ingest payload over without copying
-                // it — the per-frame hot path.
-                let request = match Request::decode_owned(body) {
+            Ok(true) => {
+                ServerStats::add(&stats.bytes_received, 4 + st.body.len() as u64);
+                // Decoding from the reused buffer copies only an ingest
+                // payload (which must outlive the buffer on the worker
+                // queue); query requests are parsed into stack values.
+                let request = match Request::decode(&st.body) {
                     Ok(request) => request,
                     Err(_) => {
                         ServerStats::bump(&stats.request_decode_errors);
@@ -358,7 +398,7 @@ fn serve_connection(
                         return drop_connection(conn, stats);
                     }
                 };
-                if !handle_request(request, conn, tx, service, stats, &mut watcher, &mut zone_ids) {
+                if !handle_request(request, conn, tx, service, stats, &mut st) {
                     return;
                 }
             }
@@ -378,15 +418,13 @@ fn serve_connection(
 }
 
 /// Handles one decoded request; returns `false` when the connection must end.
-#[allow(clippy::too_many_arguments)]
 fn handle_request(
     request: Request,
     conn: &Arc<ConnShared>,
     tx: &SyncSender<IngestJob>,
     service: &LocationService,
     stats: &ServerStats,
-    watcher: &mut ZoneWatcher,
-    zone_ids: &mut HashMap<String, u32>,
+    st: &mut ConnState,
 ) -> bool {
     match request {
         Request::Ingest(frame_bytes) => {
@@ -398,17 +436,25 @@ fn handle_request(
             }
         }
         Request::Rect { area, t } => {
-            let records = to_records(service.objects_in_rect(&area, t));
+            service.objects_in_rect_into(&area, t, &mut st.scratch, &mut st.reports);
+            to_records_into(&st.reports, &mut st.records);
             ServerStats::bump(&stats.queries_answered);
-            if respond(conn, stats, &Response::Positions(records)).is_err() {
+            st.write_buf.clear();
+            if encode_positions_into(&st.records, &mut st.write_buf).is_err()
+                || respond_encoded(conn, stats, &st.write_buf).is_err()
+            {
                 drop_connection(conn, stats);
                 return false;
             }
         }
         Request::Nearest { from, t, k } => {
-            let records = to_records(service.nearest_objects(&from, t, k as usize));
+            service.nearest_objects_into(&from, t, k as usize, &mut st.scratch, &mut st.reports);
+            to_records_into(&st.reports, &mut st.records);
             ServerStats::bump(&stats.queries_answered);
-            if respond(conn, stats, &Response::Positions(records)).is_err() {
+            st.write_buf.clear();
+            if encode_positions_into(&st.records, &mut st.write_buf).is_err()
+                || respond_encoded(conn, stats, &st.write_buf).is_err()
+            {
                 drop_connection(conn, stats);
                 return false;
             }
@@ -416,29 +462,28 @@ fn handle_request(
         Request::ZoneSubscribe { zone, area } => {
             // Fire-and-forget: requests on one connection are processed in
             // order, so a subsequent poll is guaranteed to see the zone.
-            // The watcher keys zones by string name; `zone_ids` maps those
-            // names back to the wire's u32 ids so poll events never have to
-            // parse (or silently alias an unparsable name).
-            let name = zone.to_string();
-            zone_ids.insert(name.clone(), zone);
-            watcher.add_zone(name, area);
+            // The zone name is interned once here; the poll path maps the
+            // watcher's dense zone index back to the wire id with an array
+            // lookup instead of parsing (or hashing) names per event.
+            let index = st.watcher.add_zone(zone.to_string(), area);
+            debug_assert_eq!(index, st.zone_wire_ids.len());
+            st.zone_wire_ids.push(zone);
         }
         Request::ZonePoll { t } => {
-            let events: Vec<ZoneEventRecord> = watcher
-                .evaluate(service, t)
-                .into_iter()
-                .filter_map(|e| {
-                    Some(ZoneEventRecord {
-                        zone: *zone_ids.get(&e.zone)?,
-                        object: e.object.0,
-                        entered: matches!(e.kind, ZoneEventKind::Entered),
-                        t,
-                    })
-                })
-                .collect();
-            ServerStats::add(&stats.zone_events_emitted, events.len() as u64);
+            st.watcher.evaluate_into(service, t, &mut st.zone_events);
+            st.event_records.clear();
+            st.event_records.extend(st.zone_events.iter().map(|e| ZoneEventRecord {
+                zone: st.zone_wire_ids[e.zone_index],
+                object: e.object.0,
+                entered: matches!(e.kind, ZoneEventKind::Entered),
+                t,
+            }));
+            ServerStats::add(&stats.zone_events_emitted, st.event_records.len() as u64);
             ServerStats::bump(&stats.queries_answered);
-            if respond(conn, stats, &Response::ZoneEvents(events)).is_err() {
+            st.write_buf.clear();
+            if encode_zone_events_into(&st.event_records, &mut st.write_buf).is_err()
+                || respond_encoded(conn, stats, &st.write_buf).is_err()
+            {
                 drop_connection(conn, stats);
                 return false;
             }
@@ -469,23 +514,31 @@ fn wait_for_drain(conn: &ConnShared) -> (u64, u64, bool) {
     (progress.enqueued, progress.applied_updates, progress.failed)
 }
 
-fn to_records(reports: Vec<PositionReport>) -> Vec<PositionRecord> {
-    reports
-        .into_iter()
-        .map(|r| PositionRecord {
-            object: r.object.0,
-            position: r.position,
-            information_age: r.information_age,
-        })
-        .collect()
+/// Converts service reports to wire records in a reusable buffer (cleared
+/// first) — the query paths' counterpart of the old allocating `to_records`.
+fn to_records_into(reports: &[PositionReport], records: &mut Vec<PositionRecord>) {
+    records.clear();
+    records.extend(reports.iter().map(|r| PositionRecord {
+        object: r.object.0,
+        position: r.position,
+        information_age: r.information_age,
+    }));
 }
 
-fn respond(conn: &ConnShared, stats: &ServerStats, response: &Response) -> Result<(), NetError> {
-    let body = response.encode()?;
+/// Writes a pre-encoded response body — the zero-allocation send path the
+/// query handlers use with the connection's reusable write buffer.
+fn respond_encoded(conn: &ConnShared, stats: &ServerStats, body: &[u8]) -> Result<(), NetError> {
     let mut writer = conn.writer.lock().expect("writer lock");
-    let sent = write_message(&mut *writer, &body)?;
+    let sent = write_message(&mut *writer, body)?;
     ServerStats::add(&stats.bytes_sent, sent);
     Ok(())
+}
+
+/// Encodes and writes a response, allocating a fresh buffer — fine for the
+/// cold paths (errors, flush barriers) that keep no per-connection state.
+fn respond(conn: &ConnShared, stats: &ServerStats, response: &Response) -> Result<(), NetError> {
+    let body = response.encode()?;
+    respond_encoded(conn, stats, &body)
 }
 
 fn drop_connection(conn: &ConnShared, stats: &ServerStats) {

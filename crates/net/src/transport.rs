@@ -35,6 +35,25 @@ pub fn write_message(writer: &mut impl Write, body: &[u8]) -> std::io::Result<u6
 /// `max` reports a typed error without reading or allocating the body; EOF
 /// in the middle of a message surfaces as [`NetError::Io`].
 pub fn read_message(reader: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, NetError> {
+    let mut body = Vec::new();
+    Ok(read_message_into(reader, max, &mut body)?.then_some(body))
+}
+
+/// Reads one length-prefixed message into a caller-provided buffer — the
+/// reusable-buffer form of [`read_message`] both ends of a connection loop
+/// on: once the buffer has grown to the connection's largest message, reads
+/// allocate nothing.
+///
+/// Returns `Ok(false)` (buffer cleared) when the peer closed the connection
+/// cleanly at a message boundary, `Ok(true)` with the body in `buf`
+/// otherwise. Error behaviour is identical to [`read_message`], and the size
+/// cap still bounds what a hostile prefix can make the buffer grow to.
+pub fn read_message_into(
+    reader: &mut impl Read,
+    max: u32,
+    buf: &mut Vec<u8>,
+) -> Result<bool, NetError> {
+    buf.clear();
     let mut prefix = [0u8; 4];
     // The first byte distinguishes a clean close from a truncated message
     // (read_exact cannot: it maps both to UnexpectedEof). Retry EINTR like
@@ -42,7 +61,7 @@ pub fn read_message(reader: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>,
     // tear it down.
     loop {
         match reader.read(&mut prefix[..1]) {
-            Ok(0) => return Ok(None),
+            Ok(0) => return Ok(false),
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e.into()),
@@ -59,9 +78,9 @@ pub fn read_message(reader: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>,
     if len > max {
         return Err(NetError::Oversized { len, max });
     }
-    let mut body = vec![0u8; len as usize];
-    reader.read_exact(&mut body)?;
-    Ok(Some(body))
+    buf.resize(len as usize, 0);
+    reader.read_exact(buf)?;
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -78,6 +97,21 @@ mod tests {
         assert_eq!(read_message(&mut reader, 1024).unwrap().unwrap(), b"hello");
         assert_eq!(read_message(&mut reader, 1024).unwrap().unwrap(), vec![0xFF; 3]);
         assert!(read_message(&mut reader, 1024).unwrap().is_none(), "clean EOF at a boundary");
+    }
+
+    #[test]
+    fn reusable_buffer_reads_match_and_clear_stale_contents() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, b"hello").unwrap();
+        write_message(&mut wire, b"yo").unwrap();
+        let mut reader = Cursor::new(wire);
+        let mut buf = b"stale-bytes".to_vec();
+        assert!(read_message_into(&mut reader, 1024, &mut buf).unwrap());
+        assert_eq!(buf, b"hello");
+        assert!(read_message_into(&mut reader, 1024, &mut buf).unwrap());
+        assert_eq!(buf, b"yo", "shrinking messages must not keep stale tail bytes");
+        assert!(!read_message_into(&mut reader, 1024, &mut buf).unwrap());
+        assert!(buf.is_empty(), "clean EOF clears the buffer");
     }
 
     #[test]

@@ -101,7 +101,21 @@ impl RoadNetwork {
     /// candidate outgoing links the paper's forward-tracking and prediction
     /// consider when the object reaches an intersection.
     pub fn outgoing_links(&self, node: NodeId, arriving: Option<LinkId>) -> Vec<LinkId> {
-        self.adjacency[node.index()].iter().copied().filter(|&l| Some(l) != arriving).collect()
+        self.outgoing_links_iter(node, arriving).collect()
+    }
+
+    /// Iterator form of [`RoadNetwork::outgoing_links`]: the same candidate
+    /// set without allocating a `Vec` — the per-intersection step of the
+    /// map-based prediction walk, which must stay allocation-free however
+    /// many link hops a prediction crosses. The underlying adjacency slice
+    /// is cheap to re-iterate, so multi-pass policies (main-road priority,
+    /// membership checks) call this repeatedly instead of collecting.
+    pub fn outgoing_links_iter(
+        &self,
+        node: NodeId,
+        arriving: Option<LinkId>,
+    ) -> impl Iterator<Item = LinkId> + Clone + '_ {
+        self.adjacency[node.index()].iter().copied().filter(move |&l| Some(l) != arriving)
     }
 
     /// Degree (number of incident links) of a node.

@@ -307,6 +307,10 @@ pub fn run_net_workload(config: &NetWorkloadConfig) -> NetWorkloadReport {
                 let span_x = map_bounds.max.x - map_bounds.min.x;
                 let span_y = map_bounds.max.y - map_bounds.min.y;
                 let mut tally = QueryTally::default();
+                // One reusable record buffer per connection: the rect and
+                // nearest answers decode into it without allocating per
+                // response (the server side reuses its buffers too).
+                let mut records = Vec::new();
                 let started = Instant::now();
                 for _ in 0..config.queries_per_connection {
                     let p = Point::new(
@@ -319,16 +323,18 @@ pub fn run_net_workload(config: &NetWorkloadConfig) -> NetWorkloadReport {
                         0 => {
                             let area = Aabb::around(p, rng.gen_range(100.0..1_200.0));
                             tally.rect += 1;
-                            tally.rect_results +=
-                                client.objects_in_rect(&area, t_q).expect("rect query").len()
-                                    as u64;
+                            client
+                                .objects_in_rect_into(&area, t_q, &mut records)
+                                .expect("rect query");
+                            tally.rect_results += records.len() as u64;
                         }
                         1 => {
                             let k = rng.gen_range(1u16..8);
                             tally.nearest += 1;
-                            tally.nearest_results +=
-                                client.nearest_objects(&p, t_q, k).expect("nearest query").len()
-                                    as u64;
+                            client
+                                .nearest_objects_into(&p, t_q, k, &mut records)
+                                .expect("nearest query");
+                            tally.nearest_results += records.len() as u64;
                         }
                         _ => {
                             tally.zone += 1;

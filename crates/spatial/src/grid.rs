@@ -76,12 +76,14 @@ impl<T> GridIndex<T> {
         ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }
 
-    /// Visits the indexes of entries registered in cells overlapping `query`,
-    /// deduplicated, in ascending entry order.
-    fn candidate_indexes(&self, query: &Aabb) -> Vec<u32> {
+    /// Writes the indexes of entries registered in cells overlapping `query`
+    /// into `out` (cleared first), deduplicated, in ascending entry order.
+    /// The buffer is caller-owned scratch: reusing it across queries makes
+    /// the candidate walk allocation-free in steady state.
+    fn candidate_indexes_into(&self, query: &Aabb, out: &mut Vec<u32>) {
+        out.clear();
         let (cx0, cy0) = self.cell_of(&query.min);
         let (cx1, cy1) = self.cell_of(&query.max);
-        let mut out: Vec<u32> = Vec::new();
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
                 if let Some(ids) = self.cells.get(&(cx, cy)) {
@@ -91,7 +93,25 @@ impl<T> GridIndex<T> {
         }
         out.sort_unstable();
         out.dedup();
-        out
+    }
+
+    /// Calls `f` for every entry whose bounding box intersects `query`, in
+    /// insertion order, using `scratch` as the candidate buffer — the
+    /// allocation-free form of [`SpatialIndex::query_rect`] for repeated
+    /// queries (the map matcher's per-sighting candidate-link lookup).
+    pub fn for_each_in_rect(
+        &self,
+        query: &Aabb,
+        scratch: &mut Vec<u32>,
+        mut f: impl FnMut(&Entry<T>),
+    ) {
+        self.candidate_indexes_into(query, scratch);
+        for &i in scratch.iter() {
+            let entry = &self.entries[i as usize];
+            if entry.bbox.intersects(query) {
+                f(entry);
+            }
+        }
     }
 }
 
@@ -101,7 +121,9 @@ impl<T> SpatialIndex<T> for GridIndex<T> {
     }
 
     fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<T>> {
-        self.candidate_indexes(query)
+        let mut indexes = Vec::new();
+        self.candidate_indexes_into(query, &mut indexes);
+        indexes
             .into_iter()
             .map(|i| &self.entries[i as usize])
             .filter(|e| e.bbox.intersects(query))
@@ -198,6 +220,22 @@ mod tests {
         items.sort_unstable();
         // Entry 2 is 20 m away minus its 1 m half-extent → 19 m > 15 m radius.
         assert_eq!(items, vec![1, 4]);
+    }
+
+    #[test]
+    fn scratch_buffer_query_agrees_with_the_allocating_one() {
+        let g = sample_grid();
+        let mut scratch = vec![42u32; 3]; // stale contents must not leak through
+        for query in [
+            Aabb::around(Point::new(5.0, 5.0), 3.0),
+            Aabb::around(Point::new(30.0, 30.0), 40.0),
+            Aabb::around(Point::new(-500.0, -500.0), 10.0),
+        ] {
+            let owned: Vec<u32> = g.query_rect(&query).iter().map(|e| e.item).collect();
+            let mut via_scratch = Vec::new();
+            g.for_each_in_rect(&query, &mut scratch, |e| via_scratch.push(e.item));
+            assert_eq!(via_scratch, owned, "{query:?}");
+        }
     }
 
     #[test]

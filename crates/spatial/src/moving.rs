@@ -105,24 +105,30 @@ impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
         true
     }
 
-    /// Keys of entries registered in cells overlapping `query`, deduplicated
-    /// and sorted (ascending) for deterministic iteration.
+    /// Writes the keys of entries registered in cells overlapping `query`
+    /// into `out` (cleared first), deduplicated via an in-place unstable sort
+    /// — ascending order, deterministic regardless of hash-map iteration.
+    ///
+    /// The buffer is the *caller's* scratch: a reader that reuses one buffer
+    /// across queries performs zero heap allocations per query in steady
+    /// state (the sort and dedup are in-place; `extend_from_slice` only
+    /// grows the buffer until it reaches the high-water candidate count).
     ///
     /// The visited cell range is clamped to the occupied bounds so an
     /// oversized query box (e.g. a nearest-neighbour ring that grew to the
     /// whole extent) costs cells-in-use, not cells-in-query.
-    fn candidate_keys(&self, query: &Aabb) -> Vec<K> {
+    pub fn query_keys_into(&self, query: &Aabb, out: &mut Vec<K>) {
+        out.clear();
         let Some(bounds) = self.bounds else {
-            return Vec::new();
+            return;
         };
         if !bounds.intersects(query) {
-            return Vec::new();
+            return;
         }
         let clamped = Aabb {
             min: Point::new(query.min.x.max(bounds.min.x), query.min.y.max(bounds.min.y)),
             max: Point::new(query.max.x.min(bounds.max.x), query.max.y.min(bounds.max.y)),
         };
-        let mut out: Vec<K> = Vec::new();
         for cell in cell_range(&clamped, self.cell_size) {
             if let Some(keys) = self.cells.get(&cell) {
                 out.extend_from_slice(keys);
@@ -130,7 +136,26 @@ impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
         }
         out.sort_unstable();
         out.dedup();
-        out
+    }
+
+    /// Calls `f` for every entry whose bounding box intersects `query`, in
+    /// ascending key order, using `keys_scratch` as the candidate buffer —
+    /// the allocation-free form of [`SpatialIndex::query_rect`] the location
+    /// service's query paths are built on.
+    pub fn for_each_in_rect(
+        &self,
+        query: &Aabb,
+        keys_scratch: &mut Vec<K>,
+        mut f: impl FnMut(&Entry<K>),
+    ) {
+        self.query_keys_into(query, keys_scratch);
+        for key in keys_scratch.iter() {
+            if let Some(entry) = self.items.get(key) {
+                if entry.bbox.intersects(query) {
+                    f(entry);
+                }
+            }
+        }
     }
 
     /// A radius from `p` guaranteed to cover every entry (derived from the
@@ -164,8 +189,9 @@ impl<K: Copy + Eq + Hash + Ord> SpatialIndex<K> for MovingIndex<K> {
     }
 
     fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<K>> {
-        self.candidate_keys(query)
-            .into_iter()
+        let mut keys = Vec::new();
+        self.query_keys_into(query, &mut keys);
+        keys.into_iter()
             .filter_map(|k| self.items.get(&k))
             .filter(|e| e.bbox.intersects(query))
             .collect()
@@ -187,7 +213,10 @@ impl<K: Copy + Eq + Hash + Ord> SpatialIndex<K> for MovingIndex<K> {
                 .into_iter()
                 .map(|e| Neighbor { distance: e.bbox.distance_to_point(p), entry: e })
                 .collect();
-            found.sort_by(|a, b| {
+            // Unstable sort: the comparator is a total order (distance with
+            // the unique key as tiebreak), so the result is deterministic
+            // and no stable-sort temp buffer is allocated.
+            found.sort_unstable_by(|a, b| {
                 a.distance
                     .partial_cmp(&b.distance)
                     .expect("finite distances")
@@ -284,6 +313,23 @@ mod tests {
         let empty: MovingIndex<u32> = MovingIndex::new(10.0);
         assert!(empty.nearest(&Point::ORIGIN, 2).is_empty());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn scratch_buffer_query_agrees_with_the_allocating_one() {
+        let mut idx = populated();
+        idx.insert(4, Aabb::new(Point::new(0.0, 0.0), Point::new(120.0, 120.0))); // spans many cells
+        let mut scratch = vec![99u32; 7]; // stale contents must not leak through
+        for query in [
+            Aabb::around(Point::new(5.0, 5.0), 3.0),
+            Aabb::around(Point::new(60.0, 60.0), 80.0),
+            Aabb::around(Point::new(-500.0, -500.0), 1.0),
+        ] {
+            let owned: Vec<u32> = idx.query_rect(&query).iter().map(|e| e.item).collect();
+            let mut via_scratch = Vec::new();
+            idx.for_each_in_rect(&query, &mut scratch, |e| via_scratch.push(e.item));
+            assert_eq!(via_scratch, owned, "{query:?}");
+        }
     }
 
     #[test]

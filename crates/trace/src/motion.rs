@@ -118,9 +118,9 @@ pub fn simulate_motion(
     while s < total - 0.5 && t < max_time {
         // Record a sample when due.
         if t + 1e-9 >= next_sample_t {
-            let position = path.point_at_arc_length(s);
-            let heading = path.heading_at_arc_length(s);
-            samples.push(GroundTruth { t, position, speed: v, heading });
+            // One binary search for position and heading together.
+            let (position, direction) = path.sample_at_arc_length(s);
+            samples.push(GroundTruth { t, position, speed: v, heading: direction.heading() });
             next_sample_t += config.sample_interval;
         }
 
@@ -170,9 +170,13 @@ pub fn simulate_motion(
     // Final sample at the end of the path, kept on the sampling grid: the
     // object has arrived, and the arrival is recorded at the next due sample
     // instant so consecutive samples always stay `sample_interval` apart.
-    let position = path.point_at_arc_length(total);
-    let heading = path.heading_at_arc_length(total);
-    samples.push(GroundTruth { t: next_sample_t, position, speed: v, heading });
+    let (position, direction) = path.sample_at_arc_length(total);
+    samples.push(GroundTruth {
+        t: next_sample_t,
+        position,
+        speed: v,
+        heading: direction.heading(),
+    });
     samples
 }
 
