@@ -1,0 +1,35 @@
+//! Criterion sweep of the synthetic large-N workload: N ∈ {10⁴, 10⁵, 10⁶}
+//! objects × uniform / Zipf-hotspot placement, through the full
+//! ingest-then-query pipeline of `mbdr_sim::run_scale_workload`.
+//!
+//! The CI regression gate (`reproduce scale --check`) carries the same grid
+//! up to 10⁵ objects; this bench is where the 10⁶ point lives — it is too
+//! slow for the smoke job but exactly the regime the cache-conscious index
+//! layout is built for, so run it locally when touching the spatial storage.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mbdr_sim::{run_scale_workload, ScaleConfig};
+
+fn bench_scale(c: &mut Criterion) {
+    for objects in [10_000usize, 100_000, 1_000_000] {
+        let mut group = c.benchmark_group(&format!("scale_workload_{objects}"));
+        // Each iteration ingests (rounds+1)·N updates and runs the query
+        // batch — seconds at 10⁶ — so take the minimum sample count.
+        group.sample_size(10);
+        for hotspot in [false, true] {
+            let mut config = ScaleConfig::standard(objects, hotspot, 2001);
+            // Keep the query batch small enough that one iteration stays
+            // ingest+query balanced instead of query-dominated at 10⁶.
+            config.rect_queries = 50;
+            config.nearest_queries = 50;
+            let label = if hotspot { "hotspot" } else { "uniform" };
+            group.bench_function(label, |b| {
+                b.iter(|| black_box(run_scale_workload(black_box(&config))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

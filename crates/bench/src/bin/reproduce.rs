@@ -11,6 +11,7 @@
 //! cargo run --release -p mbdr-bench --bin reproduce -- throughput --scale 0.02
 //! cargo run --release -p mbdr-bench --bin reproduce -- wire --scale 0.1
 //! cargo run --release -p mbdr-bench --bin reproduce -- net --scale 0.05
+//! cargo run --release -p mbdr-bench --bin reproduce -- scale
 //! cargo run --release -p mbdr-bench --bin reproduce -- json --scale 0.05 --check
 //! cargo run --release -p mbdr-bench --bin reproduce -- net --scale 0.05 --write-baseline
 //! ```
@@ -18,7 +19,8 @@
 //! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
 //! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
 //! figure data as CSV instead of a table. For the JSON-emitting commands
-//! (`json`, `throughput`, `wire`, `net`), `--check` compares the fresh
+//! (`json`, `throughput`, `wire`, `net`, `hotpath`, `scale`), `--check`
+//! compares the fresh
 //! output against the committed `baselines/BENCH_<cmd>.json` with per-metric
 //! tolerances and exits non-zero on regression, `--write-baseline`
 //! (re)generates that file, and `--baseline-dir` overrides the directory.
@@ -32,6 +34,7 @@ use mbdr_bench::alloccount::CountingAllocator;
 use mbdr_bench::check::{compare_baseline, parse_json};
 use mbdr_bench::hotpath::{hotpath_report, render_hotpath_json};
 use mbdr_bench::netbase::{net_grid, render_net_json};
+use mbdr_bench::scale::{render_scale_json, scale_grid};
 use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
 use mbdr_bench::wire::wire_baseline;
 use mbdr_bench::{
@@ -65,6 +68,7 @@ enum Command {
     Wire,
     Net,
     Hotpath,
+    Scale,
     All,
 }
 
@@ -86,6 +90,7 @@ impl Command {
             "wire" => Command::Wire,
             "net" => Command::Net,
             "hotpath" => Command::Hotpath,
+            "scale" => Command::Scale,
             "all" => Command::All,
             _ => return None,
         })
@@ -100,6 +105,7 @@ impl Command {
             Command::Wire => "BENCH_wire.json",
             Command::Net => "BENCH_net.json",
             Command::Hotpath => "BENCH_hotpath.json",
+            Command::Scale => "BENCH_scale.json",
             _ => return None,
         })
     }
@@ -170,7 +176,7 @@ fn parse_args() -> Options {
     }
     if (options.check || options.write_baseline) && options.command.baseline_file().is_none() {
         die("--check/--write-baseline only apply to the JSON commands \
-             (json|throughput|wire|net|hotpath)");
+             (json|throughput|wire|net|hotpath|scale)");
     }
     options
 }
@@ -184,8 +190,8 @@ fn die(message: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|wire|net|hotpath|all]\n       [--scale F] [--seed N] [--csv] [--check] \
-         [--write-baseline] [--baseline-dir DIR]"
+         json|throughput|wire|net|hotpath|scale|all]\n       [--scale F] [--seed N] [--csv] \
+         [--check] [--write-baseline] [--baseline-dir DIR]"
     );
 }
 
@@ -222,6 +228,7 @@ fn baseline_json(command: Command, scale: f64, seed: u64) -> String {
         Command::Wire => wire_baseline(scale, seed).to_json(),
         Command::Net => render_net_json(scale, seed, &net_grid(scale, seed)),
         Command::Hotpath => render_hotpath_json(scale, seed, &hotpath_report(scale, seed)),
+        Command::Scale => render_scale_json(scale, seed, &scale_grid(scale, seed)),
         _ => unreachable!("parse_args only routes JSON commands here"),
     }
 }
@@ -399,9 +406,12 @@ fn main() {
         Command::Summary => print_summary(options.scale, options.seed),
         Command::UpdatesTrace => print_updates_trace(options.scale, options.seed),
         Command::Ablations => print_ablations(options.scale, options.seed, options.csv),
-        Command::Json | Command::Throughput | Command::Wire | Command::Net | Command::Hotpath => {
-            run_json_command(&options)
-        }
+        Command::Json
+        | Command::Throughput
+        | Command::Wire
+        | Command::Net
+        | Command::Hotpath
+        | Command::Scale => run_json_command(&options),
         Command::All => {
             print_table1(options.scale, options.seed);
             for kind in ScenarioKind::ALL {

@@ -203,14 +203,22 @@ enum MetricClass {
     Loose,
 }
 
-/// Wall-clock and rate metrics, judged by name wherever they appear.
-const TIMING_KEYS: [&str; 10] = [
+/// Wall-clock and rate metrics, judged by name wherever they appear. The
+/// scale baseline splits each document cleanly along this line: result
+/// counts, occupancy diagnostics and dedup counters are seed-deterministic
+/// (strict), while every wall clock and throughput below is machine-
+/// dependent (sanity-only).
+const TIMING_KEYS: [&str; 14] = [
     "wall_ms",
     "ingest_wall_s",
     "query_wall_s",
+    "rect_wall_s",
+    "nearest_wall_s",
     "updates_per_sec",
     "queries_per_sec",
     "predicts_per_sec",
+    "rect_per_sec",
+    "nearest_per_sec",
     "latency_p50_ms",
     "latency_p99_ms",
     "p50_ms",
@@ -476,6 +484,36 @@ mod tests {
         let report = compare_baseline(&baseline, &parse_json(&drifted).unwrap());
         assert!(!report.passed());
         assert!(report.mismatches[0].contains("rect_results"), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn scale_documents_split_timing_from_deterministic_keys() {
+        // The mbdr-scale/1 point shape: wall clocks and throughputs may
+        // drift freely, but result counts, occupancy diagnostics and dedup
+        // counters are seed-determined and must be gated strictly.
+        let doc = r#"{"schema":"mbdr-scale/1","points":[{"rect_hits":512,
+            "rect_wall_s":0.25,"nearest_wall_s":0.12,"rect_per_sec":1600.0,
+            "nearest_per_sec":3300.0,"occupied_cells":900,
+            "max_cell_occupancy":450,"candidates_inspected":80000,
+            "candidates_unique":64000}]}"#;
+        let baseline = parse_json(doc).unwrap();
+        let timing_drift = doc
+            .replace("0.25", "9.75")
+            .replace("0.12", "0.0")
+            .replace("1600.0", "12.5")
+            .replace("3300.0", "71000.0");
+        assert!(compare_baseline(&baseline, &parse_json(&timing_drift).unwrap()).passed());
+        for (needle, replacement) in [
+            (":512", ":513"),
+            (":900", ":901"),
+            (":450", ":449"),
+            (":80000", ":80001"),
+            (":64000", ":63999"),
+        ] {
+            let drifted = doc.replace(needle, replacement);
+            let report = compare_baseline(&baseline, &parse_json(&drifted).unwrap());
+            assert!(!report.passed(), "{needle} should be strict");
+        }
     }
 
     #[test]

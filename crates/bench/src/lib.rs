@@ -12,7 +12,9 @@
 //! perf baseline, [`wire`] sweeps the lossy-uplink channel model over loss
 //! rates as the wire protocol's accuracy/overhead baseline, and [`netbase`]
 //! drives the TCP serving layer over loopback as the end-to-end network
-//! baseline. [`check`] is the regression gate: it parses the committed
+//! baseline, and [`scale`] sweeps the synthetic million-object workload
+//! (uniform and Zipf-hotspot placement) over the spatial data plane as the
+//! large-N baseline. [`check`] is the regression gate: it parses the committed
 //! `baselines/BENCH_*.json` files and compares fresh output against them
 //! with per-metric tolerances (`reproduce <cmd> --check`). [`hotpath`]
 //! measures the steady-state ingest/query/predict pipeline under the
@@ -26,6 +28,7 @@ pub mod alloccount;
 pub mod check;
 pub mod hotpath;
 pub mod netbase;
+pub mod scale;
 pub mod throughput;
 pub mod wire;
 

@@ -51,5 +51,5 @@ mod shard;
 pub mod zones;
 
 pub use config::ServiceConfig;
-pub use service::{LocationService, ObjectId, PositionReport, QueryScratch};
+pub use service::{IndexStats, LocationService, ObjectId, PositionReport, QueryScratch};
 pub use zones::{ZoneEvent, ZoneEventKind, ZoneWatcher};

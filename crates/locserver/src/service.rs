@@ -9,7 +9,7 @@
 //! identical to what a full scan over every tracker would return.
 
 use crate::config::ServiceConfig;
-use crate::shard::Shard;
+use crate::shard::{CandidateScratch, Shard};
 use mbdr_core::{DecodeError, Frame, FrameView, Predictor, Update};
 use mbdr_geo::{Aabb, Point};
 use serde::{Deserialize, Serialize};
@@ -41,10 +41,35 @@ pub struct PositionReport {
 /// reached their high-water capacity.
 #[derive(Default)]
 pub struct QueryScratch {
-    /// Spatial-index candidate keys (see `MovingIndex::query_keys_into`).
-    pub(crate) keys: Vec<ObjectId>,
+    /// Candidate walk + batch-prediction buffers (seen mask, candidate slot
+    /// ids and the struct-of-arrays prediction output; see `crate::shard`).
+    pub(crate) cand: CandidateScratch,
     /// Nearest-query candidates: exact distance + report.
     near: Vec<(f64, PositionReport)>,
+}
+
+impl QueryScratch {
+    /// Cumulative candidate-dedup counters over every query this scratch has
+    /// served: `(candidates inspected, unique candidates)`. The ratio between
+    /// the two is the direct observable of placement skew on the query path —
+    /// an object spanning many visited cells is inspected once per cell but
+    /// deduplicated to one candidate.
+    pub fn dedup_counters(&self) -> (u64, u64) {
+        self.cand.dedup_counters()
+    }
+}
+
+/// Aggregated spatial-index occupancy diagnostics across every shard
+/// (see [`LocationService::index_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Objects currently carried in the shard indexes.
+    pub indexed: usize,
+    /// Occupied grid cells, summed over shards.
+    pub occupied_cells: usize,
+    /// Highest entry count in any single cell of any shard — the direct
+    /// observable of hotspot skew.
+    pub max_cell_occupancy: usize,
 }
 
 /// A thread-safe, lock-striped location service tracking many objects.
@@ -237,7 +262,7 @@ impl LocationService {
     ) {
         out.clear();
         for shard in &self.shards {
-            shard.read_fresh(t, |s| s.collect_in_rect(area, t, &mut scratch.keys, out));
+            shard.read_fresh(t, |s| s.collect_in_rect(area, t, &mut scratch.cand, out));
         }
         // Unstable sort: object ids are unique, so the order is total and
         // deterministic, and no stable-sort temp buffer is allocated.
@@ -282,7 +307,7 @@ impl LocationService {
             a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object))
         };
         let mut radius = self.config.cell_size_m;
-        let QueryScratch { keys, near: candidates } = scratch;
+        let QueryScratch { cand, near: candidates } = scratch;
         loop {
             candidates.clear();
             // The termination extent is recomputed inside the same lock hold
@@ -293,7 +318,7 @@ impl LocationService {
             let mut extent = self.config.cell_size_m;
             for shard in &self.shards {
                 shard.read_fresh(t, |s| {
-                    s.collect_near(from, radius, t, keys, candidates);
+                    s.collect_near(from, radius, t, cand, candidates);
                     extent = extent.max(s.extent_radius(from));
                 });
             }
@@ -319,6 +344,22 @@ impl LocationService {
     /// Total number of updates ingested across all objects.
     pub fn total_updates(&self) -> u64 {
         self.shards.iter().map(|s| s.read(|st| st.total_updates())).sum()
+    }
+
+    /// Spatial-index occupancy diagnostics aggregated over every shard.
+    /// O(occupied cells) under shard read locks — cheap enough for stats
+    /// endpoints and benchmark reports, not meant for per-query use.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut stats = IndexStats::default();
+        for shard in &self.shards {
+            shard.read(|s| {
+                let (cells, max) = s.index_occupancy();
+                stats.indexed += s.indexed_count();
+                stats.occupied_cells += cells;
+                stats.max_cell_occupancy = stats.max_cell_occupancy.max(max);
+            });
+        }
+        stats
     }
 }
 

@@ -19,23 +19,41 @@
 //! and the radius recomputed, still anchored at the reported position — the
 //! box of a silent mover keeps growing, which is exactly the server's real
 //! uncertainty about it.
+//!
+//! ## Storage and query layout
+//!
+//! Trackers live in a dense slot arena (`slots[slot_id]`); the
+//! `ObjectId → slot` hash map is consulted on ingest and point lookup only.
+//! The spatial index is keyed by the small `u32` slot id, so resolving a
+//! query candidate is a direct array index — no hashing on the query path.
+//! Range and nearest collection run as batch kernels in three passes over
+//! struct-of-arrays scratch: (1) walk the index cells for candidate slots
+//! (deduplicated by a generation-stamped seen mask), (2) predict every
+//! candidate into contiguous position arrays, (3) one linear
+//! containment/distance pass over those arrays. With warm buffers all three
+//! passes are allocation-free.
 
 use crate::config::ServiceConfig;
 use crate::service::{ObjectId, PositionReport};
 use mbdr_core::{Predictor, ServerTracker, Update};
 use mbdr_geo::{Aabb, Point};
-use mbdr_spatial::{MovingIndex, SpatialIndex};
+use mbdr_spatial::{MovingIndex, SeenScratch, SpatialIndex};
 use parking_lot::RwLock;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// An object tracked by one shard.
-struct Tracked {
+/// An object tracked by one shard, stored in the dense slot arena.
+struct TrackedSlot {
+    /// The object occupying this slot (meaningful only while the slot is
+    /// live, i.e. referenced by the id map).
+    object: ObjectId,
     tracker: ServerTracker,
-    /// Bumped every time the index entry is (re)written; lets the expiry heap
-    /// use lazy deletion instead of removals.
+    /// Bumped every time the index entry is (re)written *and* whenever the
+    /// slot's occupant changes, monotonically over the slot's whole lifetime
+    /// — so the expiry heap can use lazy deletion and a recycled slot never
+    /// matches a stale heap entry.
     generation: u64,
     /// Query times up to this instant are covered by the index entry.
     valid_until: f64,
@@ -45,7 +63,7 @@ struct Tracked {
 #[derive(Debug, PartialEq)]
 struct Expiry {
     at: f64,
-    object: ObjectId,
+    slot: u32,
     generation: u64,
 }
 
@@ -55,7 +73,7 @@ impl Ord for Expiry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.at
             .total_cmp(&other.at)
-            .then(self.object.cmp(&other.object))
+            .then(self.slot.cmp(&other.slot))
             .then(self.generation.cmp(&other.generation))
     }
 }
@@ -66,11 +84,37 @@ impl PartialOrd for Expiry {
     }
 }
 
+/// Reusable per-reader buffers for the shard batch query kernels: the
+/// seen-mask for candidate dedup, the candidate slot list, and the
+/// struct-of-arrays prediction output the filter passes run over.
+#[derive(Default)]
+pub(crate) struct CandidateScratch {
+    seen: SeenScratch,
+    cand: Vec<u32>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ages: Vec<f64>,
+    objects: Vec<ObjectId>,
+}
+
+impl CandidateScratch {
+    /// Cumulative `(candidates inspected, unique candidates)` across every
+    /// query served with this scratch (see `SeenScratch::dedup_counters`).
+    pub(crate) fn dedup_counters(&self) -> (u64, u64) {
+        self.seen.dedup_counters()
+    }
+}
+
 /// Mutable state of one shard, guarded by the shard's lock.
 pub(crate) struct ShardState {
     config: ServiceConfig,
-    trackers: HashMap<ObjectId, Tracked>,
-    index: MovingIndex<ObjectId>,
+    /// Object id → slot in `slots`. Touched on ingest and point lookup;
+    /// queries resolve candidates through the dense arena instead.
+    by_id: HashMap<ObjectId, u32>,
+    slots: Vec<TrackedSlot>,
+    free_slots: Vec<u32>,
+    /// Spatial index keyed by slot id.
+    index: MovingIndex<u32>,
     expiries: BinaryHeap<Reverse<Expiry>>,
 }
 
@@ -78,14 +122,16 @@ impl ShardState {
     fn new(config: ServiceConfig) -> Self {
         ShardState {
             config,
-            trackers: HashMap::new(),
+            by_id: HashMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
             index: MovingIndex::new(config.cell_size_m),
             expiries: BinaryHeap::new(),
         }
     }
 
     pub(crate) fn object_count(&self) -> usize {
-        self.trackers.len()
+        self.by_id.len()
     }
 
     pub(crate) fn indexed_count(&self) -> usize {
@@ -93,71 +139,107 @@ impl ShardState {
     }
 
     pub(crate) fn total_updates(&self) -> u64 {
-        self.trackers.values().map(|t| t.tracker.updates_applied()).sum()
+        self.by_id.values().map(|&s| self.slots[s as usize].tracker.updates_applied()).sum()
+    }
+
+    /// `(occupied cells, max cell occupancy)` of this shard's index.
+    pub(crate) fn index_occupancy(&self) -> (usize, usize) {
+        (self.index.occupied_cells(), self.index.max_cell_occupancy())
     }
 
     pub(crate) fn register(&mut self, object: ObjectId, predictor: Arc<dyn Predictor>) {
-        self.index.remove(&object);
-        self.trackers.insert(
-            object,
-            Tracked {
-                tracker: ServerTracker::new(predictor),
-                generation: 0,
-                valid_until: f64::INFINITY,
-            },
-        );
+        match self.by_id.get(&object).copied() {
+            Some(slot) => {
+                // Re-registration: fresh tracker, same slot. The generation
+                // bump invalidates any pending expiries for the old tracker.
+                self.index.remove(&slot);
+                let tracked = &mut self.slots[slot as usize];
+                tracked.tracker = ServerTracker::new(predictor);
+                tracked.generation += 1;
+                tracked.valid_until = f64::INFINITY;
+            }
+            None => {
+                let slot = match self.free_slots.pop() {
+                    Some(slot) => {
+                        let tracked = &mut self.slots[slot as usize];
+                        tracked.object = object;
+                        tracked.tracker = ServerTracker::new(predictor);
+                        // Keep the generation monotone across occupants so
+                        // heap entries of previous occupants never match.
+                        tracked.generation += 1;
+                        tracked.valid_until = f64::INFINITY;
+                        slot
+                    }
+                    None => {
+                        let slot = self.slots.len() as u32;
+                        self.slots.push(TrackedSlot {
+                            object,
+                            tracker: ServerTracker::new(predictor),
+                            generation: 0,
+                            valid_until: f64::INFINITY,
+                        });
+                        slot
+                    }
+                };
+                self.by_id.insert(object, slot);
+            }
+        }
     }
 
     pub(crate) fn deregister(&mut self, object: ObjectId) -> bool {
-        self.index.remove(&object);
-        let removed = self.trackers.remove(&object).is_some();
+        let Some(slot) = self.by_id.remove(&object) else {
+            return false;
+        };
+        self.index.remove(&slot);
+        // Invalidate pending expiries for this slot before recycling it.
+        self.slots[slot as usize].generation += 1;
+        self.free_slots.push(slot);
         self.prune_superseded_expiries();
-        removed
+        true
     }
 
     pub(crate) fn apply_update(&mut self, object: ObjectId, update: &Update) -> bool {
-        let Some(tracked) = self.trackers.get_mut(&object) else {
+        let Some(&slot) = self.by_id.get(&object) else {
             return false;
         };
+        let tracked = &mut self.slots[slot as usize];
         let before = tracked.tracker.updates_applied();
         tracked.tracker.apply(update);
         if tracked.tracker.updates_applied() != before {
             // The update was accepted (not a stale sequence number): re-anchor
             // the index entry on the new reported state.
-            Self::reindex(&self.config, &mut self.index, &mut self.expiries, object, tracked, None);
+            Self::reindex(&self.config, &mut self.index, &mut self.expiries, slot, tracked, None);
         }
         self.prune_superseded_expiries();
         true
     }
 
     /// Drops lazily-deleted entries from the top of the expiry heap (entries
-    /// whose object was re-anchored or deregistered since they were pushed).
-    /// Called on the ingest path, which already holds the write lock, so an
-    /// ingest-heavy but rarely-queried service does not accumulate one heap
-    /// entry per update: for a frequently-updating object the superseded
-    /// entries are exactly the earliest-expiring ones and get popped here.
+    /// whose slot was re-anchored, deregistered or recycled since they were
+    /// pushed). Called on the ingest path, which already holds the write
+    /// lock, so an ingest-heavy but rarely-queried service does not
+    /// accumulate one heap entry per update: for a frequently-updating object
+    /// the superseded entries are exactly the earliest-expiring ones and get
+    /// popped here.
     fn prune_superseded_expiries(&mut self) {
         while let Some(Reverse(top)) = self.expiries.peek() {
-            let superseded = match self.trackers.get(&top.object) {
-                Some(tracked) => tracked.generation != top.generation,
-                None => true,
-            };
-            if !superseded {
+            if self.slots[top.slot as usize].generation == top.generation {
                 break;
             }
             self.expiries.pop();
         }
     }
 
-    /// (Re)writes `object`'s index entry from its last reported state. With
-    /// `extend_to = Some(t)` the validity is pushed past `t` (lazy re-grow on
-    /// a stale query); otherwise it starts one horizon after the report.
+    /// (Re)writes the index entry of the object in `slot` from its last
+    /// reported state. With `extend_to = Some(t)` the validity is pushed past
+    /// `t` (lazy re-grow on a stale query); otherwise it starts one horizon
+    /// after the report.
     fn reindex(
         config: &ServiceConfig,
-        index: &mut MovingIndex<ObjectId>,
+        index: &mut MovingIndex<u32>,
         expiries: &mut BinaryHeap<Reverse<Expiry>>,
-        object: ObjectId,
-        tracked: &mut Tracked,
+        slot: u32,
+        tracked: &mut TrackedSlot,
         extend_to: Option<f64>,
     ) {
         let Some(state) = tracked.tracker.last_state() else {
@@ -172,11 +254,11 @@ impl ShardState {
         };
         tracked.generation += 1;
         tracked.valid_until = valid_until;
-        index.insert(object, Aabb::around(state.position, radius));
+        index.insert(slot, Aabb::around(state.position, radius));
         if valid_until.is_finite() {
             expiries.push(Reverse(Expiry {
                 at: valid_until,
-                object,
+                slot,
                 generation: tracked.generation,
             }));
         }
@@ -196,17 +278,15 @@ impl ShardState {
                 break;
             }
             let Reverse(expiry) = self.expiries.pop().expect("peeked");
-            let Some(tracked) = self.trackers.get_mut(&expiry.object) else {
-                continue; // deregistered since the entry was pushed
-            };
+            let tracked = &mut self.slots[expiry.slot as usize];
             if tracked.generation != expiry.generation {
-                continue; // superseded by a newer update or refresh
+                continue; // superseded, deregistered or recycled since pushed
             }
             Self::reindex(
                 &self.config,
                 &mut self.index,
                 &mut self.expiries,
-                expiry.object,
+                expiry.slot,
                 tracked,
                 Some(t),
             );
@@ -215,63 +295,93 @@ impl ShardState {
 
     /// The position report for one object at time `t`.
     pub(crate) fn report_for(&self, object: ObjectId, t: f64) -> Option<PositionReport> {
-        let tracked = self.trackers.get(&object)?;
-        report(object, &tracked.tracker, t)
+        let slot = *self.by_id.get(&object)?;
+        let tracker = &self.slots[slot as usize].tracker;
+        let position = tracker.position_at(t)?;
+        let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+        Some(PositionReport { object, position, information_age: age })
+    }
+
+    /// Passes 1+2 of the batch query kernels: walk the index cells for the
+    /// candidate slot ids (deduplicated, unordered — the service imposes its
+    /// own deterministic order on final results), then predict every
+    /// candidate at `t` into the contiguous struct-of-arrays buffers the
+    /// filter passes run over.
+    fn collect_candidates(&self, area: &Aabb, t: f64, scratch: &mut CandidateScratch) {
+        let CandidateScratch { seen, cand, xs, ys, ages, objects } = scratch;
+        cand.clear();
+        self.index.for_each_in_rect_unordered(area, seen, |entry| cand.push(entry.item));
+        xs.clear();
+        ys.clear();
+        ages.clear();
+        objects.clear();
+        for &slot in cand.iter() {
+            let tracked = &self.slots[slot as usize];
+            let Some(position) = tracked.tracker.position_at(t) else {
+                continue;
+            };
+            let age =
+                tracked.tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
+            xs.push(position.x);
+            ys.push(position.y);
+            ages.push(age);
+            objects.push(tracked.object);
+        }
     }
 
     /// Index-pruned range query: appends every object whose predicted position
-    /// at `t` lies inside `area`. Callers must have refreshed expiries ≥ `t`.
-    /// `keys` is reusable candidate scratch (see
-    /// [`MovingIndex::for_each_in_rect`]) — with warm buffers this performs
-    /// zero heap allocations.
+    /// at `t` lies inside `area`, in unspecified order (the service sorts).
+    /// Callers must have refreshed expiries ≥ `t`. With warm scratch buffers
+    /// this performs zero heap allocations.
     pub(crate) fn collect_in_rect(
         &self,
         area: &Aabb,
         t: f64,
-        keys: &mut Vec<ObjectId>,
+        scratch: &mut CandidateScratch,
         out: &mut Vec<PositionReport>,
     ) {
-        self.index.for_each_in_rect(area, keys, |entry| {
-            if let Some(r) = self.report_for(entry.item, t) {
-                if area.contains(&r.position) {
-                    out.push(r);
-                }
+        self.collect_candidates(area, t, scratch);
+        let CandidateScratch { xs, ys, ages, objects, .. } = scratch;
+        for i in 0..xs.len() {
+            let position = Point::new(xs[i], ys[i]);
+            if area.contains(&position) {
+                out.push(PositionReport { object: objects[i], position, information_age: ages[i] });
             }
-        });
+        }
     }
 
     /// Index-pruned nearest-candidate collection: appends `(distance, report)`
     /// for every object whose index box intersects the square of half-width
     /// `radius` around `from`. Conservative: every object whose *exact*
-    /// predicted position is within `radius` of `from` is included. `keys` is
-    /// reusable candidate scratch, as in [`ShardState::collect_in_rect`].
+    /// predicted position is within `radius` of `from` is included. Scratch
+    /// reuse as in [`ShardState::collect_in_rect`].
     pub(crate) fn collect_near(
         &self,
         from: &Point,
         radius: f64,
         t: f64,
-        keys: &mut Vec<ObjectId>,
+        scratch: &mut CandidateScratch,
         out: &mut Vec<(f64, PositionReport)>,
     ) {
-        self.index.for_each_in_rect(&Aabb::around(*from, radius), keys, |entry| {
-            if let Some(r) = self.report_for(entry.item, t) {
-                out.push((from.distance(&r.position), r));
-            }
-        });
+        self.collect_candidates(&Aabb::around(*from, radius), t, scratch);
+        let CandidateScratch { xs, ys, ages, objects, .. } = scratch;
+        for i in 0..xs.len() {
+            let position = Point::new(xs[i], ys[i]);
+            // Exact `Point::distance` (with its sqrt), not the squared form:
+            // the ordering is the same, but the *tie pattern* after rounding
+            // is what the full-scan oracle in the equivalence tests sees, so
+            // the kernel must produce bit-identical distances.
+            out.push((
+                from.distance(&position),
+                PositionReport { object: objects[i], position, information_age: ages[i] },
+            ));
+        }
     }
 
     /// A radius from `from` guaranteed to cover every indexed entry.
     pub(crate) fn extent_radius(&self, from: &Point) -> f64 {
         self.index.extent_radius(from)
     }
-}
-
-/// Builds the query answer for one tracker (shared by every query path so the
-/// information-age semantics stay identical to the pre-shard implementation).
-fn report(object: ObjectId, tracker: &ServerTracker, t: f64) -> Option<PositionReport> {
-    let position = tracker.position_at(t)?;
-    let age = tracker.last_state().map(|s| (t - s.timestamp).max(0.0)).unwrap_or(0.0);
-    Some(PositionReport { object, position, information_age: age })
 }
 
 /// One lock stripe: a shard's state behind its own reader–writer lock.

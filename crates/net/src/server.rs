@@ -43,7 +43,8 @@ use crate::transport::{read_message_into, write_message, DEFAULT_MAX_MESSAGE_BYT
 use mbdr_core::wire::query::{encode_positions_into, encode_zone_events_into};
 use mbdr_core::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
 use mbdr_locserver::{
-    LocationService, PositionReport, QueryScratch, ZoneEvent, ZoneEventKind, ZoneWatcher,
+    IndexStats, LocationService, PositionReport, QueryScratch, ZoneEvent, ZoneEventKind,
+    ZoneWatcher,
 };
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -212,6 +213,15 @@ impl NetServer {
     /// A copy of the serving counters.
     pub fn stats(&self) -> ServerStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Spatial-index occupancy of the fronted service — gauges computed from
+    /// the live shard indexes at call time (occupied cells, max cell
+    /// occupancy), complementing the event counters in
+    /// [`NetServer::stats`]: together they make hotspot skew observable on a
+    /// serving deployment without a debugger.
+    pub fn index_stats(&self) -> IndexStats {
+        self.service.index_stats()
     }
 
     /// Stops accepting, tears down every connection, drains the workers and

@@ -27,6 +27,10 @@
 //!   ingesting updates while query threads issue the motivating range /
 //!   nearest / zone queries, measuring ingest throughput, query throughput
 //!   and query-observed accuracy.
+//! * [`scale_workload`] — the million-object axis: synthetic fleets placed
+//!   uniformly or with Zipf hotspot skew, ingested in full-fleet rounds and
+//!   queried with rect / nearest traffic, measuring the spatial data plane
+//!   at N up to 10⁶ (`reproduce scale` emits its baseline).
 //! * [`net_workload`] — the same fleet driven over real loopback TCP through
 //!   `mbdr_net`'s serving layer: producer connections stream encoded frames,
 //!   query connections issue the binary query protocol, and the report adds
@@ -45,6 +49,7 @@ pub mod net_workload;
 pub mod protocols;
 pub mod report;
 pub mod runner;
+pub mod scale_workload;
 pub mod service_workload;
 pub mod sweep;
 
@@ -57,5 +62,6 @@ pub use net_workload::{run_net_workload, NetWorkloadConfig, NetWorkloadReport};
 pub use protocols::ProtocolKind;
 pub use report::{render_csv, render_json, render_table};
 pub use runner::{run_protocol, RunConfig};
+pub use scale_workload::{run_scale_workload, ScaleConfig, ScaleReport};
 pub use service_workload::{run_service_workload, QueryMix, WorkloadConfig, WorkloadReport};
 pub use sweep::{sweep_scenario, SweepPoint, SweepResult};

@@ -6,18 +6,49 @@
 //! order of the map-matching tolerance `u_m` (tens of metres) a candidate-link
 //! query touches a handful of cells and a handful of links — constant time in
 //! practice, independent of the map size.
+//!
+//! Cell membership is stored without per-cell heap boxes: an open-addressed
+//! [`CellTable`] maps the cell coordinate to a chain of slots in one flat
+//! arena. Incremental inserts prepend to the chain in O(1); [`compact`]
+//! (called automatically by [`bulk_load`]) rewrites the arena so every cell's
+//! slots are contiguous and in insertion order — a CSR-style layout that
+//! makes the per-query candidate walk a linear scan. Query dedup is a
+//! generation-stamped [`SeenScratch`] pass (O(candidates)) instead of the
+//! former per-query `sort_unstable + dedup` over the raw candidate list.
+//!
+//! [`compact`]: GridIndex::compact
+//! [`bulk_load`]: GridIndex::bulk_load
 
-use crate::{Entry, Neighbor, SpatialIndex};
+use crate::cells::CellTable;
+use crate::{Entry, Neighbor, SeenScratch, SpatialIndex};
 use mbdr_geo::{Aabb, Point};
-use std::collections::HashMap;
+
+/// Chain terminator / "no slot" sentinel.
+const NONE: u32 = u32::MAX;
+
+/// A cell's candidate list: the head of its slot chain and its length.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellList {
+    head: u32,
+    len: u32,
+}
+
+/// One arena slot: an entry index and the next slot of the same cell.
+#[derive(Debug, Clone, Copy)]
+struct ChainSlot {
+    entry: u32,
+    next: u32,
+}
 
 /// A uniform-grid spatial index over `(Aabb, T)` entries.
 #[derive(Debug, Clone)]
 pub struct GridIndex<T> {
     cell_size: f64,
     entries: Vec<Entry<T>>,
-    /// Cell coordinates → indexes into `entries`.
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    /// Cell coordinate → its slot chain.
+    table: CellTable<CellList>,
+    /// Flat slot arena all cell chains live in.
+    slots: Vec<ChainSlot>,
 }
 
 impl<T> GridIndex<T> {
@@ -27,10 +58,11 @@ impl<T> GridIndex<T> {
     /// Panics if `cell_size` is not strictly positive.
     pub fn new(cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "grid cell size must be positive");
-        GridIndex { cell_size, entries: Vec::new(), cells: HashMap::new() }
+        GridIndex { cell_size, entries: Vec::new(), table: CellTable::new(), slots: Vec::new() }
     }
 
-    /// Builds a grid from an iterator of `(bbox, item)` pairs.
+    /// Builds a grid from an iterator of `(bbox, item)` pairs and compacts it
+    /// for querying.
     pub fn bulk_load<I>(cell_size: f64, items: I) -> Self
     where
         I: IntoIterator<Item = (Aabb, T)>,
@@ -39,6 +71,7 @@ impl<T> GridIndex<T> {
         for (bbox, item) in items {
             grid.insert(bbox, item);
         }
+        grid.compact();
         grid
     }
 
@@ -50,10 +83,11 @@ impl<T> GridIndex<T> {
 
     /// Number of occupied grid cells (diagnostic; useful in benchmarks).
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.table.len()
     }
 
-    /// Inserts an entry, registering it in every cell its box overlaps.
+    /// Inserts an entry, registering it in every cell its box overlaps
+    /// (an O(1) chain prepend per cell).
     pub fn insert(&mut self, bbox: Aabb, item: T) {
         let idx = self.entries.len() as u32;
         self.entries.push(Entry::new(bbox, item));
@@ -61,9 +95,47 @@ impl<T> GridIndex<T> {
         let (cx1, cy1) = self.cell_of(&bbox.max);
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
-                self.cells.entry((cx, cy)).or_default().push(idx);
+                let slot = self.slots.len() as u32;
+                match self.table.get_mut((cx, cy)) {
+                    Some(list) => {
+                        self.slots.push(ChainSlot { entry: idx, next: list.head });
+                        list.head = slot;
+                        list.len += 1;
+                    }
+                    None => {
+                        self.slots.push(ChainSlot { entry: idx, next: NONE });
+                        self.table.insert((cx, cy), CellList { head: slot, len: 1 });
+                    }
+                }
             }
         }
+    }
+
+    /// Rewrites the slot arena so each cell's slots are contiguous and in
+    /// insertion order (CSR layout). Queries work before and after; after,
+    /// the candidate walk is a linear scan per cell. Idempotent; called by
+    /// [`GridIndex::bulk_load`] once all entries are in.
+    pub fn compact(&mut self) {
+        let mut compacted: Vec<ChainSlot> = Vec::with_capacity(self.slots.len());
+        for (_, list) in self.table.iter_mut() {
+            let begin = compacted.len();
+            // The chain is newest-first; copy then reverse to insertion order.
+            let mut cur = list.head;
+            while cur != NONE {
+                let slot = self.slots[cur as usize];
+                compacted.push(ChainSlot { entry: slot.entry, next: NONE });
+                cur = slot.next;
+            }
+            compacted[begin..].reverse();
+            let end = compacted.len();
+            for (i, slot) in compacted[begin..end].iter_mut().enumerate() {
+                if begin + i + 1 < end {
+                    slot.next = (begin + i + 1) as u32;
+                }
+            }
+            list.head = begin as u32;
+        }
+        self.slots = compacted;
     }
 
     /// Access to all entries in insertion order.
@@ -76,42 +148,46 @@ impl<T> GridIndex<T> {
         ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }
 
-    /// Writes the indexes of entries registered in cells overlapping `query`
-    /// into `out` (cleared first), deduplicated, in ascending entry order.
-    /// The buffer is caller-owned scratch: reusing it across queries makes
-    /// the candidate walk allocation-free in steady state.
-    fn candidate_indexes_into(&self, query: &Aabb, out: &mut Vec<u32>) {
-        out.clear();
+    /// Calls `f` for every entry whose bounding box intersects `query`, in
+    /// insertion order, allocation-free once the caller's [`SeenScratch`]
+    /// buffers are warm — the repeated-query form behind the map matcher's
+    /// per-sighting candidate-link lookup. Dedup across cells is the
+    /// generation-stamped seen mask (O(candidates)); only the unique entry
+    /// ids are sorted to restore insertion order.
+    pub fn for_each_in_rect<'a>(
+        &'a self,
+        query: &Aabb,
+        seen: &mut SeenScratch,
+        mut f: impl FnMut(&'a Entry<T>),
+    ) {
+        seen.begin(self.entries.len());
+        let mut ids = std::mem::take(&mut seen.ids);
+        ids.clear();
         let (cx0, cy0) = self.cell_of(&query.min);
         let (cx1, cy1) = self.cell_of(&query.max);
         for cx in cx0..=cx1 {
             for cy in cy0..=cy1 {
-                if let Some(ids) = self.cells.get(&(cx, cy)) {
-                    out.extend_from_slice(ids);
+                let Some(list) = self.table.get((cx, cy)) else {
+                    continue;
+                };
+                let mut cur = list.head;
+                while cur != NONE {
+                    let slot = self.slots[cur as usize];
+                    if seen.first_visit(slot.entry) {
+                        ids.push(slot.entry);
+                    }
+                    cur = slot.next;
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
-    }
-
-    /// Calls `f` for every entry whose bounding box intersects `query`, in
-    /// insertion order, using `scratch` as the candidate buffer — the
-    /// allocation-free form of [`SpatialIndex::query_rect`] for repeated
-    /// queries (the map matcher's per-sighting candidate-link lookup).
-    pub fn for_each_in_rect(
-        &self,
-        query: &Aabb,
-        scratch: &mut Vec<u32>,
-        mut f: impl FnMut(&Entry<T>),
-    ) {
-        self.candidate_indexes_into(query, scratch);
-        for &i in scratch.iter() {
+        ids.sort_unstable();
+        for &i in ids.iter() {
             let entry = &self.entries[i as usize];
             if entry.bbox.intersects(query) {
                 f(entry);
             }
         }
+        seen.ids = ids;
     }
 }
 
@@ -121,13 +197,10 @@ impl<T> SpatialIndex<T> for GridIndex<T> {
     }
 
     fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<T>> {
-        let mut indexes = Vec::new();
-        self.candidate_indexes_into(query, &mut indexes);
-        indexes
-            .into_iter()
-            .map(|i| &self.entries[i as usize])
-            .filter(|e| e.bbox.intersects(query))
-            .collect()
+        let mut seen = SeenScratch::new();
+        let mut hits = Vec::new();
+        self.for_each_in_rect(query, &mut seen, |e| hits.push(e));
+        hits
     }
 
     fn nearest<'a>(&'a self, p: &Point, k: usize) -> Vec<Neighbor<'a, T>> {
@@ -225,7 +298,7 @@ mod tests {
     #[test]
     fn scratch_buffer_query_agrees_with_the_allocating_one() {
         let g = sample_grid();
-        let mut scratch = vec![42u32; 3]; // stale contents must not leak through
+        let mut seen = SeenScratch::new();
         for query in [
             Aabb::around(Point::new(5.0, 5.0), 3.0),
             Aabb::around(Point::new(30.0, 30.0), 40.0),
@@ -233,8 +306,27 @@ mod tests {
         ] {
             let owned: Vec<u32> = g.query_rect(&query).iter().map(|e| e.item).collect();
             let mut via_scratch = Vec::new();
-            g.for_each_in_rect(&query, &mut scratch, |e| via_scratch.push(e.item));
+            g.for_each_in_rect(&query, &mut seen, |e| via_scratch.push(e.item));
             assert_eq!(via_scratch, owned, "{query:?}");
+        }
+    }
+
+    #[test]
+    fn compact_preserves_query_results_and_insertion_order() {
+        let mut g = sample_grid();
+        let queries = [
+            Aabb::around(Point::new(5.0, 5.0), 3.0),
+            Aabb::around(Point::new(30.0, 30.0), 40.0),
+            Aabb::new(Point::new(-10.0, -10.0), Point::new(200.0, 200.0)),
+        ];
+        let before: Vec<Vec<u32>> =
+            queries.iter().map(|q| g.query_rect(q).iter().map(|e| e.item).collect()).collect();
+        g.compact();
+        g.compact(); // idempotent
+        for (q, expect) in queries.iter().zip(&before) {
+            let after: Vec<u32> = g.query_rect(q).iter().map(|e| e.item).collect();
+            assert_eq!(&after, expect, "{q:?}");
+            assert!(after.windows(2).all(|w| w[0] < w[1]), "insertion order kept");
         }
     }
 

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cells;
 pub mod grid;
 pub mod moving;
 pub mod rtree;
 
+pub use cells::SeenScratch;
 pub use grid::GridIndex;
 pub use moving::MovingIndex;
 pub use rtree::RTree;

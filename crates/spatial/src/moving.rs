@@ -8,27 +8,132 @@
 //! entry) — the operation the location service performs on every ingested
 //! position update.
 //!
+//! ## Storage layout
+//!
+//! The index is built for the million-object regime, where the former
+//! `HashMap<(i64, i64), Vec<K>>` layout (one heap-allocated `Vec` per occupied
+//! cell, SipHash per cell probe, and a `sort_unstable + dedup` pass per query)
+//! dominated the query profile. Instead:
+//!
+//! * entries live in a dense arena (`entries[dense_id]`), addressed by a
+//!   small integer id; the key → id map is hashed only on mutation;
+//! * cell membership lives in one flat slab of `(key, dense_id)` slots,
+//!   carved into power-of-two-capacity segments — one contiguous segment per
+//!   occupied cell, found through an open-addressed [`CellTable`];
+//! * every entry records its placements (`cell`, position *within* the
+//!   cell's segment), so removal is a swap-remove plus a placement patch —
+//!   O(cells per entry), independent of how crowded the cells are;
+//! * queries walk contiguous segments and deduplicate with a
+//!   generation-stamped [`SeenScratch`] in O(candidates), instead of sorting
+//!   the candidate list on every query.
+//!
+//! All mutation paths reuse freed segments, dense ids and placement buffers,
+//! so the steady state (objects moving within a warm cell population) touches
+//! the allocator zero times — the property the `hotpath` benchmark gate pins.
+//!
 //! Queries go through the common [`SpatialIndex`] trait, so the service stays
 //! index-agnostic and the equivalence property tests cover all three
 //! implementations with the same brute-force oracle.
 
-use crate::{Entry, Neighbor, SpatialIndex};
+use crate::cells::CellTable;
+use crate::{Entry, Neighbor, SeenScratch, SpatialIndex};
 use mbdr_geo::{Aabb, Point};
 use std::collections::HashMap;
 use std::hash::Hash;
 
+/// Capacity of the smallest segment size class (class `c` holds
+/// `MIN_SEG_CAP << c` slots).
+const MIN_SEG_CAP: u32 = 4;
+
+/// Number of segment size classes: `4 << 27` slots (half a billion) in the
+/// largest — far beyond any single cell this index will see.
+const NUM_CLASSES: usize = 28;
+
+/// A cell's slice of the slab: `cap = MIN_SEG_CAP << class` slots starting at
+/// `start`, the first `len` of them live.
+#[derive(Debug, Clone, Copy, Default)]
+struct Segment {
+    start: u32,
+    len: u32,
+    class: u8,
+}
+
+#[inline]
+fn seg_cap(class: u8) -> u32 {
+    MIN_SEG_CAP << class
+}
+
+/// One slab slot: the entry's key (so ordered queries need no indirection)
+/// plus its dense id (what the seen-mask and the entry arena are indexed by).
+#[derive(Debug, Clone, Copy)]
+struct ArenaSlot<K> {
+    key: K,
+    dense: u32,
+}
+
+/// One cell an entry is registered in, with its position *relative to the
+/// cell's segment start* — stable across both table rehashes (the coordinate
+/// is stored, not a table slot) and segment grows (relative, not absolute).
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    cell: (i64, i64),
+    pos: u32,
+}
+
+/// The flat slot slab all cell segments are carved from, with one free list
+/// per size class so emptied and outgrown segments are recycled instead of
+/// leaking or reallocating.
+#[derive(Debug, Clone)]
+struct Slab<K> {
+    data: Vec<ArenaSlot<K>>,
+    free: [Vec<u32>; NUM_CLASSES],
+}
+
+impl<K: Copy> Slab<K> {
+    fn new() -> Self {
+        Slab { data: Vec::new(), free: std::array::from_fn(|_| Vec::new()) }
+    }
+
+    /// A segment of the given class: a recycled one if available, else fresh
+    /// slab tail (filled with `filler` — callers overwrite the live prefix).
+    fn alloc(&mut self, class: u8, filler: ArenaSlot<K>) -> u32 {
+        if let Some(start) = self.free[class as usize].pop() {
+            return start;
+        }
+        let start = self.data.len() as u32;
+        self.data.resize(self.data.len() + seg_cap(class) as usize, filler);
+        start
+    }
+
+    fn release(&mut self, start: u32, class: u8) {
+        self.free[class as usize].push(start);
+    }
+}
+
 /// A uniform-grid spatial index whose entries are addressed by key and may be
-/// moved or removed after insertion.
+/// moved or removed after insertion, stored cache-consciously (dense entry
+/// arena, flat per-cell segments, open-addressed cell table — see the module
+/// docs).
 ///
 /// Keys must be `Ord` so query results can be returned in a deterministic
-/// order regardless of hash-map iteration order.
+/// order regardless of hash order.
 #[derive(Debug, Clone)]
 pub struct MovingIndex<K> {
     cell_size: f64,
-    /// Key → current entry (`entry.item` is the key itself).
-    items: HashMap<K, Entry<K>>,
-    /// Cell coordinates → keys of entries overlapping the cell.
-    cells: HashMap<(i64, i64), Vec<K>>,
+    /// Key → dense id. Hashed on mutation and point lookup only; queries
+    /// never touch it.
+    items: HashMap<K, u32>,
+    /// Dense id → entry. Freed ids keep their stale slot (unreachable: no
+    /// cell references it) and are recycled through `free_ids`.
+    entries: Vec<Entry<K>>,
+    /// Dense id → the cells the entry is registered in. The inner buffers
+    /// are retained across removal/re-insert so a moving entry allocates
+    /// nothing in steady state.
+    placements: Vec<Vec<Placement>>,
+    free_ids: Vec<u32>,
+    /// Cell coordinate → its segment of `slab`.
+    table: CellTable<Segment>,
+    slab: Slab<K>,
     /// Union of every bbox ever inserted (never shrinks on removal); used as
     /// a conservative termination bound for nearest-neighbour searches.
     bounds: Option<Aabb>,
@@ -41,7 +146,16 @@ impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
     /// Panics if `cell_size` is not strictly positive.
     pub fn new(cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "grid cell size must be positive");
-        MovingIndex { cell_size, items: HashMap::new(), cells: HashMap::new(), bounds: None }
+        MovingIndex {
+            cell_size,
+            items: HashMap::new(),
+            entries: Vec::new(),
+            placements: Vec::new(),
+            free_ids: Vec::new(),
+            table: CellTable::new(),
+            slab: Slab::new(),
+            bounds: None,
+        }
     }
 
     /// The configured cell size in metres.
@@ -57,7 +171,7 @@ impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
 
     /// The bounding box currently stored for `key`, if any.
     pub fn get(&self, key: &K) -> Option<&Aabb> {
-        self.items.get(key).map(|e| &e.bbox)
+        self.items.get(key).map(|&dense| &self.entries[dense as usize].bbox)
     }
 
     /// A box guaranteed to contain every current entry (it may be larger:
@@ -68,18 +182,49 @@ impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
 
     /// Number of occupied grid cells (diagnostic; useful in benchmarks).
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.table.len()
+    }
+
+    /// Highest number of entries registered in any single cell — the direct
+    /// observable of placement skew (a hotspot cell holds a large fraction of
+    /// the shard). O(occupied cells); diagnostic, not a hot path.
+    pub fn max_cell_occupancy(&self) -> usize {
+        self.table.iter().map(|(_, seg)| seg.len as usize).max().unwrap_or(0)
     }
 
     /// Inserts `key` with `bbox`, replacing (and unregistering) any previous
     /// placement of the same key. Returns `true` if the key was already
     /// present.
     pub fn insert(&mut self, key: K, bbox: Aabb) -> bool {
-        let moved = self.remove(&key);
+        let (dense, moved) = match self.items.get(&key).copied() {
+            Some(dense) => {
+                // A move: detach the old placements but keep the dense id
+                // (and its placement buffer) — no hashing beyond the lookup,
+                // no allocation.
+                self.detach(dense);
+                self.entries[dense as usize].bbox = bbox;
+                (dense, true)
+            }
+            None => {
+                let dense = match self.free_ids.pop() {
+                    Some(id) => {
+                        self.entries[id as usize] = Entry::new(bbox, key);
+                        id
+                    }
+                    None => {
+                        let id = self.entries.len() as u32;
+                        self.entries.push(Entry::new(bbox, key));
+                        self.placements.push(Vec::new());
+                        id
+                    }
+                };
+                self.items.insert(key, dense);
+                (dense, false)
+            }
+        };
         for cell in cell_range(&bbox, self.cell_size) {
-            self.cells.entry(cell).or_default().push(key);
+            self.register(dense, key, cell);
         }
-        self.items.insert(key, Entry::new(bbox, key));
         self.bounds = Some(match self.bounds {
             Some(b) => b.union(&bbox),
             None => bbox,
@@ -88,71 +233,154 @@ impl<K: Copy + Eq + Hash + Ord> MovingIndex<K> {
     }
 
     /// Removes `key` from the index. Returns `true` if it was present.
+    ///
+    /// O(cells the entry spans), independent of cell crowding: each placement
+    /// is a swap-remove at a recorded position, not a scan of the cell.
     pub fn remove(&mut self, key: &K) -> bool {
-        let Some(old) = self.items.remove(key) else {
+        let Some(dense) = self.items.remove(key) else {
             return false;
         };
-        for cell in cell_range(&old.bbox, self.cell_size) {
-            if let Some(keys) = self.cells.get_mut(&cell) {
-                if let Some(pos) = keys.iter().position(|k| k == key) {
-                    keys.swap_remove(pos);
-                }
-                if keys.is_empty() {
-                    self.cells.remove(&cell);
-                }
-            }
-        }
+        self.detach(dense);
+        self.free_ids.push(dense);
         true
     }
 
-    /// Writes the keys of entries registered in cells overlapping `query`
-    /// into `out` (cleared first), deduplicated via an in-place unstable sort
-    /// — ascending order, deterministic regardless of hash-map iteration.
-    ///
-    /// The buffer is the *caller's* scratch: a reader that reuses one buffer
-    /// across queries performs zero heap allocations per query in steady
-    /// state (the sort and dedup are in-place; `extend_from_slice` only
-    /// grows the buffer until it reaches the high-water candidate count).
-    ///
-    /// The visited cell range is clamped to the occupied bounds so an
-    /// oversized query box (e.g. a nearest-neighbour ring that grew to the
-    /// whole extent) costs cells-in-use, not cells-in-query.
-    pub fn query_keys_into(&self, query: &Aabb, out: &mut Vec<K>) {
-        out.clear();
-        let Some(bounds) = self.bounds else {
-            return;
-        };
-        if !bounds.intersects(query) {
-            return;
+    /// Unregisters every placement of `dense`, retaining its placement
+    /// buffer's capacity for reuse.
+    fn detach(&mut self, dense: u32) {
+        let mut list = std::mem::take(&mut self.placements[dense as usize]);
+        for p in list.drain(..) {
+            self.unregister(p.cell, p.pos);
         }
-        let clamped = Aabb {
+        // Hand the (now empty) buffer back so the next insert reuses it.
+        self.placements[dense as usize] = list;
+    }
+
+    /// Appends a slot for `dense` to `cell`'s segment, growing the segment a
+    /// size class (copy + recycle) when full, and records the placement.
+    fn register(&mut self, dense: u32, key: K, cell: (i64, i64)) {
+        let slot = ArenaSlot { key, dense };
+        let pos = match self.table.get(cell).copied() {
+            Some(seg) if seg.len < seg_cap(seg.class) => {
+                self.slab.data[(seg.start + seg.len) as usize] = slot;
+                self.table.get_mut(cell).expect("cell just probed").len += 1;
+                seg.len
+            }
+            Some(seg) => {
+                // Segment full: move the cell to the next size class.
+                // Placements store segment-relative positions, so the copy
+                // invalidates nothing.
+                let new_start = self.slab.alloc(seg.class + 1, slot);
+                self.slab.data.copy_within(
+                    seg.start as usize..(seg.start + seg.len) as usize,
+                    new_start as usize,
+                );
+                self.slab.data[(new_start + seg.len) as usize] = slot;
+                self.slab.release(seg.start, seg.class);
+                *self.table.get_mut(cell).expect("cell just probed") =
+                    Segment { start: new_start, len: seg.len + 1, class: seg.class + 1 };
+                seg.len
+            }
+            None => {
+                let start = self.slab.alloc(0, slot);
+                self.slab.data[start as usize] = slot;
+                self.table.insert(cell, Segment { start, len: 1, class: 0 });
+                0
+            }
+        };
+        self.placements[dense as usize].push(Placement { cell, pos });
+    }
+
+    /// Swap-removes the slot at `pos` of `cell`'s segment, patching the
+    /// placement record of whichever entry's slot was swapped into the hole.
+    fn unregister(&mut self, cell: (i64, i64), pos: u32) {
+        let seg = *self.table.get(cell).expect("placement refers to an occupied cell");
+        let last = seg.len - 1;
+        if pos != last {
+            let tail = self.slab.data[(seg.start + last) as usize];
+            self.slab.data[(seg.start + pos) as usize] = tail;
+            // An entry appears at most once per cell, so the swapped slot
+            // always belongs to a *different* entry whose placement list is
+            // in place (not the one being detached).
+            let list = &mut self.placements[tail.dense as usize];
+            let record =
+                list.iter_mut().find(|p| p.cell == cell).expect("swapped entry records this cell");
+            record.pos = pos;
+        }
+        if last == 0 {
+            self.table.remove(cell);
+            self.slab.release(seg.start, seg.class);
+        } else {
+            self.table.get_mut(cell).expect("cell just probed").len = last;
+        }
+    }
+
+    /// The query box clamped to the occupied bounds, so an oversized query
+    /// box (e.g. a nearest-neighbour ring that grew to the whole extent)
+    /// costs cells-in-use, not cells-in-query. `None` if nothing can match.
+    fn clamp(&self, query: &Aabb) -> Option<Aabb> {
+        let bounds = self.bounds?;
+        if !bounds.intersects(query) {
+            return None;
+        }
+        Some(Aabb {
             min: Point::new(query.min.x.max(bounds.min.x), query.min.y.max(bounds.min.y)),
             max: Point::new(query.max.x.min(bounds.max.x), query.max.y.min(bounds.max.y)),
+        })
+    }
+
+    /// Writes the keys of entries registered in cells overlapping `query`
+    /// into `out` (cleared first), deduplicated and in ascending order.
+    ///
+    /// Dedup is O(candidates) via the generation-stamped seen mask — an
+    /// entry spanning many visited cells is accepted once and skipped on
+    /// every later visit — and only the *unique* keys are sorted. Both
+    /// buffers are the caller's scratch: a reader that reuses them across
+    /// queries performs zero heap allocations per query in steady state.
+    pub fn query_keys_into(&self, query: &Aabb, seen: &mut SeenScratch, out: &mut Vec<K>) {
+        out.clear();
+        let Some(clamped) = self.clamp(query) else {
+            return;
         };
+        seen.begin(self.entries.len());
         for cell in cell_range(&clamped, self.cell_size) {
-            if let Some(keys) = self.cells.get(&cell) {
-                out.extend_from_slice(keys);
+            let Some(seg) = self.table.get(cell) else {
+                continue;
+            };
+            for slot in &self.slab.data[seg.start as usize..(seg.start + seg.len) as usize] {
+                if seen.first_visit(slot.dense) {
+                    out.push(slot.key);
+                }
             }
         }
         out.sort_unstable();
-        out.dedup();
     }
 
     /// Calls `f` for every entry whose bounding box intersects `query`, in
-    /// ascending key order, using `keys_scratch` as the candidate buffer —
-    /// the allocation-free form of [`SpatialIndex::query_rect`] the location
-    /// service's query paths are built on.
-    pub fn for_each_in_rect(
-        &self,
+    /// **unspecified order**, allocation-free — the form the location
+    /// service's batch query kernels are built on (they impose their own
+    /// deterministic order on the final results, so paying for an ordered
+    /// candidate walk here would be waste).
+    pub fn for_each_in_rect_unordered<'a>(
+        &'a self,
         query: &Aabb,
-        keys_scratch: &mut Vec<K>,
-        mut f: impl FnMut(&Entry<K>),
+        seen: &mut SeenScratch,
+        mut f: impl FnMut(&'a Entry<K>),
     ) {
-        self.query_keys_into(query, keys_scratch);
-        for key in keys_scratch.iter() {
-            if let Some(entry) = self.items.get(key) {
-                if entry.bbox.intersects(query) {
-                    f(entry);
+        let Some(clamped) = self.clamp(query) else {
+            return;
+        };
+        seen.begin(self.entries.len());
+        for cell in cell_range(&clamped, self.cell_size) {
+            let Some(seg) = self.table.get(cell) else {
+                continue;
+            };
+            for slot in &self.slab.data[seg.start as usize..(seg.start + seg.len) as usize] {
+                if seen.first_visit(slot.dense) {
+                    let entry = &self.entries[slot.dense as usize];
+                    if entry.bbox.intersects(query) {
+                        f(entry);
+                    }
                 }
             }
         }
@@ -189,12 +417,12 @@ impl<K: Copy + Eq + Hash + Ord> SpatialIndex<K> for MovingIndex<K> {
     }
 
     fn query_rect<'a>(&'a self, query: &Aabb) -> Vec<&'a Entry<K>> {
-        let mut keys = Vec::new();
-        self.query_keys_into(query, &mut keys);
-        keys.into_iter()
-            .filter_map(|k| self.items.get(&k))
-            .filter(|e| e.bbox.intersects(query))
-            .collect()
+        let mut seen = SeenScratch::new();
+        let mut hits: Vec<&'a Entry<K>> = Vec::new();
+        self.for_each_in_rect_unordered(query, &mut seen, |e| hits.push(e));
+        // The trait form promises a deterministic (ascending-key) order.
+        hits.sort_unstable_by_key(|a| a.item);
+        hits
     }
 
     fn nearest<'a>(&'a self, p: &Point, k: usize) -> Vec<Neighbor<'a, K>> {
@@ -284,7 +512,67 @@ mod tests {
         assert!(idx.occupied_cells() >= 25);
         assert!(idx.query_rect(&Aabb::around(Point::new(49.0, 49.0), 1.0)).len() == 1);
         idx.remove(&9);
-        assert_eq!(idx.occupied_cells(), 0, "empty cell vectors are dropped");
+        assert_eq!(idx.occupied_cells(), 0, "emptied cells are released");
+        assert_eq!(idx.max_cell_occupancy(), 0);
+    }
+
+    #[test]
+    fn crowded_cell_grows_segments_and_removal_patches_placements() {
+        let mut idx = MovingIndex::new(100.0);
+        // 64 entries in the same cell: the segment grows through several
+        // size classes.
+        for key in 0..64u32 {
+            idx.insert(key, Aabb::around(Point::new(50.0, 50.0), 1.0));
+        }
+        assert_eq!(idx.occupied_cells(), 1);
+        assert_eq!(idx.max_cell_occupancy(), 64);
+        // Remove from the middle: each removal swap-removes a slot, which
+        // must patch the swapped entry's placement record — verified because
+        // later removals (and queries) still find everything.
+        for key in (0..64u32).step_by(3) {
+            assert!(idx.remove(&key));
+        }
+        let query = Aabb::around(Point::new(50.0, 50.0), 5.0);
+        let left: Vec<u32> = idx.query_rect(&query).iter().map(|e| e.item).collect();
+        let expect: Vec<u32> = (0..64).filter(|k| k % 3 != 0).collect();
+        assert_eq!(left, expect);
+        for key in expect {
+            assert!(idx.remove(&key));
+        }
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn steady_state_churn_reuses_segments_ids_and_placements() {
+        let mut idx = MovingIndex::new(10.0);
+        for key in 0..32u32 {
+            idx.insert(key, Aabb::around(Point::new(key as f64 * 7.0, 0.0), 3.0));
+        }
+        // Warm up full move cycles (both transition directions) so every
+        // size class / free list / placement buffer reaches its high-water
+        // mark…
+        for round in 0..4 {
+            let phase = round % 2;
+            for key in 0..32u32 {
+                let x = key as f64 * 7.0 + phase as f64 * 11.0;
+                idx.insert(key, Aabb::around(Point::new(x, phase as f64 * 11.0), 3.0));
+            }
+        }
+        let slab_len = idx.slab.data.len();
+        let entries_len = idx.entries.len();
+        // …then keep cycling through the same positions: the arenas must not
+        // grow (segments, ids and placement buffers are all recycled).
+        for round in 0..50 {
+            let phase = round % 2;
+            for key in 0..32u32 {
+                let x = key as f64 * 7.0 + phase as f64 * 11.0;
+                idx.insert(key, Aabb::around(Point::new(x, phase as f64 * 11.0), 3.0));
+            }
+        }
+        assert_eq!(idx.slab.data.len(), slab_len, "steady churn must not grow the slab");
+        assert_eq!(idx.entries.len(), entries_len, "dense ids are recycled");
+        assert_eq!(idx.len(), 32);
     }
 
     #[test]
@@ -319,7 +607,7 @@ mod tests {
     fn scratch_buffer_query_agrees_with_the_allocating_one() {
         let mut idx = populated();
         idx.insert(4, Aabb::new(Point::new(0.0, 0.0), Point::new(120.0, 120.0))); // spans many cells
-        let mut scratch = vec![99u32; 7]; // stale contents must not leak through
+        let mut seen = SeenScratch::new();
         for query in [
             Aabb::around(Point::new(5.0, 5.0), 3.0),
             Aabb::around(Point::new(60.0, 60.0), 80.0),
@@ -327,9 +615,28 @@ mod tests {
         ] {
             let owned: Vec<u32> = idx.query_rect(&query).iter().map(|e| e.item).collect();
             let mut via_scratch = Vec::new();
-            idx.for_each_in_rect(&query, &mut scratch, |e| via_scratch.push(e.item));
+            idx.for_each_in_rect_unordered(&query, &mut seen, |e| via_scratch.push(e.item));
+            via_scratch.sort_unstable();
             assert_eq!(via_scratch, owned, "{query:?}");
         }
+    }
+
+    #[test]
+    fn query_keys_into_is_sorted_deduped_and_reuses_the_buffers() {
+        let mut idx = MovingIndex::new(10.0);
+        idx.insert(7, Aabb::new(Point::new(0.0, 0.0), Point::new(35.0, 35.0))); // many cells
+        idx.insert(2, Aabb::around(Point::new(5.0, 5.0), 1.0));
+        let mut seen = SeenScratch::new();
+        let mut keys = vec![99u32; 5]; // stale contents must not leak through
+        idx.query_keys_into(
+            &Aabb::new(Point::new(0.0, 0.0), Point::new(30.0, 30.0)),
+            &mut seen,
+            &mut keys,
+        );
+        assert_eq!(keys, vec![2, 7], "deduped across cells, ascending");
+        let (inspected, unique) = seen.dedup_counters();
+        assert!(inspected > unique, "the multi-cell entry was inspected repeatedly");
+        assert_eq!(unique, 2);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Hotspot-skew equivalence: the dense cell storage must answer exactly like
+//! a full scan when placement is pathologically skewed — a large fraction of
+//! all entries crowded into one or a few grid cells, the regime where the
+//! per-cell segments grow through many size classes, the seen-mask dedup does
+//! real work, and swap-remove bookkeeping is exercised hardest.
+//!
+//! Two layers:
+//!
+//! * a deterministic 100 000-entry test (hotspot placement + churn +
+//!   LCG-randomized queries) requiring **bit-identical** answers — exact id
+//!   sets for rect queries, exact (`==`, no tolerance) distance sequences for
+//!   nearest — against a brute-force reference scan and a bulk-loaded
+//!   [`RTree`];
+//! * a property test over randomized crowded placements at a size proptest
+//!   can afford to shrink.
+
+use mbdr_geo::{Aabb, Point};
+use mbdr_spatial::{MovingIndex, RTree, SpatialIndex};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// SplitMix64 — deterministic, dependency-free stream for the big test.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const CELL: f64 = 250.0;
+
+/// ~30 % of entries land inside a 4×2-cell hotspot block near the origin,
+/// the rest spread over a ±10 km world — the same skew shape as the
+/// `mbdr-sim` scale workload.
+fn hotspot_box(rng: &mut Rng) -> Aabb {
+    let center = if rng.next_f64() < 0.3 {
+        Point::new(rng.next_f64() * 4.0 * CELL, rng.next_f64() * 2.0 * CELL)
+    } else {
+        Point::new((rng.next_f64() * 2.0 - 1.0) * 10_000.0, (rng.next_f64() * 2.0 - 1.0) * 10_000.0)
+    };
+    Aabb::around(center, 1.0 + rng.next_f64() * 40.0)
+}
+
+fn brute_rect(items: &BTreeMap<usize, Aabb>, q: &Aabb) -> Vec<usize> {
+    items.iter().filter(|(_, b)| b.intersects(q)).map(|(&k, _)| k).collect()
+}
+
+fn brute_nearest_distances(items: &BTreeMap<usize, Aabb>, p: &Point, k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = items.values().map(|b| b.distance_to_point(p)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d
+}
+
+#[test]
+fn hundred_thousand_hotspot_entries_answer_bit_identically_to_a_full_scan() {
+    const N: usize = 100_000;
+    let mut rng = Rng(0xC0FF_EE00_2026_0808);
+    let mut index: MovingIndex<usize> = MovingIndex::new(CELL);
+    let mut reference: BTreeMap<usize, Aabb> = BTreeMap::new();
+    for key in 0..N {
+        let b = hotspot_box(&mut rng);
+        index.insert(key, b);
+        reference.insert(key, b);
+    }
+    // Churn: move 5 % of the fleet (hotspot → elsewhere and vice versa) and
+    // remove 2 %, so the swap-remove + placement-patch paths run at scale.
+    for _ in 0..N / 20 {
+        let key = (rng.next_u64() as usize) % N;
+        let b = hotspot_box(&mut rng);
+        index.insert(key, b);
+        reference.insert(key, b);
+    }
+    for _ in 0..N / 50 {
+        let key = (rng.next_u64() as usize) % N;
+        index.remove(&key);
+        reference.remove(&key);
+    }
+    assert_eq!(index.len(), reference.len());
+
+    let items: Vec<(Aabb, usize)> = reference.iter().map(|(&k, &b)| (b, k)).collect();
+    let tree = RTree::bulk_load(items);
+
+    for i in 0..40 {
+        // Even queries aim at the hotspot block, odd ones anywhere.
+        let center = if i % 2 == 0 {
+            Point::new(rng.next_f64() * 4.0 * CELL, rng.next_f64() * 2.0 * CELL)
+        } else {
+            Point::new(
+                (rng.next_f64() * 2.0 - 1.0) * 10_000.0,
+                (rng.next_f64() * 2.0 - 1.0) * 10_000.0,
+            )
+        };
+        let query = Aabb::around(center, CELL * (0.5 + rng.next_f64() * 4.0));
+        let expected = brute_rect(&reference, &query);
+        let got: Vec<usize> = index.query_rect(&query).iter().map(|e| e.item).collect();
+        assert_eq!(got, expected, "rect query {i} ({query:?})");
+        let mut tree_got: Vec<usize> = tree.query_rect(&query).iter().map(|e| e.item).collect();
+        tree_got.sort_unstable();
+        assert_eq!(tree_got, expected, "rtree rect query {i}");
+
+        let k = 1 + (rng.next_u64() as usize) % 16;
+        let expected_d = brute_nearest_distances(&reference, &center, k);
+        let got_d: Vec<f64> = index.nearest(&center, k).iter().map(|n| n.distance).collect();
+        // Bitwise equality: both sides compute `Aabb::distance_to_point`, so
+        // any deviation means the index dropped or fabricated a candidate.
+        assert_eq!(got_d, expected_d, "nearest query {i} (k={k})");
+        let tree_d: Vec<f64> = tree.nearest(&center, k).iter().map(|n| n.distance).collect();
+        assert_eq!(tree_d, expected_d, "rtree nearest query {i} (k={k})");
+    }
+}
+
+/// A crowded placement for proptest: every box near the origin, so most of
+/// the index lives in a handful of cells.
+fn arb_crowded_box() -> impl Strategy<Value = Aabb> {
+    (0.0..600.0f64, 0.0..400.0f64, 0.0..80.0f64, 0.0..80.0f64)
+        .prop_map(|(x, y, w, h)| Aabb::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn crowded_cells_stay_equivalent_under_churn(
+        initial in proptest::collection::vec(arb_crowded_box(), 1..400),
+        moves in proptest::collection::vec((0usize..400, arb_crowded_box()), 0..120),
+        removals in proptest::collection::vec(0usize..400, 0..80),
+        query in arb_crowded_box(),
+        k in 1usize..10
+    ) {
+        // Cell size much larger than the placement spread: everything shares
+        // very few cells, maximizing per-cell crowding.
+        let mut index: MovingIndex<usize> = MovingIndex::new(500.0);
+        let mut reference: BTreeMap<usize, Aabb> = BTreeMap::new();
+        let n = initial.len();
+        for (key, b) in initial.iter().enumerate() {
+            index.insert(key, *b);
+            reference.insert(key, *b);
+        }
+        for (raw, b) in &moves {
+            index.insert(raw % n, *b);
+            reference.insert(raw % n, *b);
+        }
+        for raw in &removals {
+            index.remove(&(raw % n));
+            reference.remove(&(raw % n));
+        }
+        prop_assert_eq!(index.len(), reference.len());
+
+        let got: Vec<usize> = index.query_rect(&query).iter().map(|e| e.item).collect();
+        prop_assert_eq!(&got, &brute_rect(&reference, &query));
+        if !reference.is_empty() {
+            let tree = RTree::bulk_load(reference.iter().map(|(&k, &b)| (b, k)).collect::<Vec<_>>());
+            let mut tree_got: Vec<usize> = tree.query_rect(&query).iter().map(|e| e.item).collect();
+            tree_got.sort_unstable();
+            prop_assert_eq!(&got, &tree_got);
+
+            let p = query.center();
+            let expected = brute_nearest_distances(&reference, &p, k);
+            let nn: Vec<f64> = index.nearest(&p, k).iter().map(|x| x.distance).collect();
+            prop_assert_eq!(nn, expected, "bitwise nearest distance mismatch");
+        }
+    }
+}
