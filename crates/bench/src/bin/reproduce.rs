@@ -11,6 +11,7 @@
 //! cargo run --release -p mbdr-bench --bin reproduce -- throughput --scale 0.02
 //! cargo run --release -p mbdr-bench --bin reproduce -- wire --scale 0.1
 //! cargo run --release -p mbdr-bench --bin reproduce -- net --scale 0.05
+//! cargo run --release -p mbdr-bench --bin reproduce -- connscale
 //! cargo run --release -p mbdr-bench --bin reproduce -- scale
 //! cargo run --release -p mbdr-bench --bin reproduce -- json --scale 0.05 --check
 //! cargo run --release -p mbdr-bench --bin reproduce -- net --scale 0.05 --write-baseline
@@ -19,8 +20,8 @@
 //! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
 //! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
 //! figure data as CSV instead of a table. For the JSON-emitting commands
-//! (`json`, `throughput`, `wire`, `net`, `hotpath`, `scale`), `--check`
-//! compares the fresh
+//! (`json`, `throughput`, `wire`, `net`, `connscale`, `hotpath`, `scale`),
+//! `--check` compares the fresh
 //! output against the committed `baselines/BENCH_<cmd>.json` with per-metric
 //! tolerances and exits non-zero on regression, `--write-baseline`
 //! (re)generates that file, and `--baseline-dir` overrides the directory.
@@ -33,7 +34,10 @@
 use mbdr_bench::alloccount::CountingAllocator;
 use mbdr_bench::check::{compare_baseline, parse_json};
 use mbdr_bench::hotpath::{hotpath_report, render_hotpath_json};
-use mbdr_bench::netbase::{net_grid, render_net_json};
+use mbdr_bench::netbase::{
+    connscale_fd_demand, connscale_grid, net_grid, open_file_soft_limit, render_connscale_json,
+    render_net_json,
+};
 use mbdr_bench::scale::{render_scale_json, scale_grid};
 use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
 use mbdr_bench::wire::wire_baseline;
@@ -67,6 +71,7 @@ enum Command {
     Throughput,
     Wire,
     Net,
+    ConnScale,
     Hotpath,
     Scale,
     All,
@@ -89,6 +94,7 @@ impl Command {
             "throughput" => Command::Throughput,
             "wire" => Command::Wire,
             "net" => Command::Net,
+            "connscale" => Command::ConnScale,
             "hotpath" => Command::Hotpath,
             "scale" => Command::Scale,
             "all" => Command::All,
@@ -104,6 +110,7 @@ impl Command {
             Command::Throughput => "BENCH_throughput.json",
             Command::Wire => "BENCH_wire.json",
             Command::Net => "BENCH_net.json",
+            Command::ConnScale => "BENCH_connscale.json",
             Command::Hotpath => "BENCH_hotpath.json",
             Command::Scale => "BENCH_scale.json",
             _ => return None,
@@ -176,7 +183,7 @@ fn parse_args() -> Options {
     }
     if (options.check || options.write_baseline) && options.command.baseline_file().is_none() {
         die("--check/--write-baseline only apply to the JSON commands \
-             (json|throughput|wire|net|hotpath|scale)");
+             (json|throughput|wire|net|connscale|hotpath|scale)");
     }
     options
 }
@@ -190,8 +197,8 @@ fn die(message: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|wire|net|hotpath|scale|all]\n       [--scale F] [--seed N] [--csv] \
-         [--check] [--write-baseline] [--baseline-dir DIR]"
+         json|throughput|wire|net|connscale|hotpath|scale|all]\n       [--scale F] [--seed N] \
+         [--csv] [--check] [--write-baseline] [--baseline-dir DIR]"
     );
 }
 
@@ -227,15 +234,35 @@ fn baseline_json(command: Command, scale: f64, seed: u64) -> String {
         Command::Throughput => render_throughput_json(scale, seed, &throughput_grid(scale, seed)),
         Command::Wire => wire_baseline(scale, seed).to_json(),
         Command::Net => render_net_json(scale, seed, &net_grid(scale, seed)),
+        Command::ConnScale => render_connscale_json(scale, seed, &connscale_grid(scale, seed)),
         Command::Hotpath => render_hotpath_json(scale, seed, &hotpath_report(scale, seed)),
         Command::Scale => render_scale_json(scale, seed, &scale_grid(scale, seed)),
         _ => unreachable!("parse_args only routes JSON commands here"),
     }
 }
 
+/// Refuses to start `connscale` when the process's open-file limit cannot
+/// hold the workload (exit 2 with the fix spelled out, instead of dying
+/// mid-run on an opaque `EMFILE` from some opener thread).
+fn require_fd_headroom(scale: f64) {
+    let Some(limit) = open_file_soft_limit() else { return };
+    let demand = connscale_fd_demand(scale);
+    if limit < demand {
+        eprintln!(
+            "error: `reproduce connscale --scale {scale}` needs about {demand} file \
+             descriptors (two per connection plus slack) but the soft open-file limit is \
+             {limit}.\nRaise it first (`ulimit -n {demand}`) or lower --scale.",
+        );
+        std::process::exit(2);
+    }
+}
+
 /// Runs a JSON command, optionally checking against or (re)writing its
 /// committed baseline. The fresh document always goes to stdout.
 fn run_json_command(options: &Options) {
+    if options.command == Command::ConnScale {
+        require_fd_headroom(options.scale);
+    }
     let current = baseline_json(options.command, options.scale, options.seed);
     println!("{current}");
     let file = options.command.baseline_file().expect("JSON command");
@@ -410,6 +437,7 @@ fn main() {
         | Command::Throughput
         | Command::Wire
         | Command::Net
+        | Command::ConnScale
         | Command::Hotpath
         | Command::Scale => run_json_command(&options),
         Command::All => {

@@ -11,10 +11,11 @@
 //! * **timing** metrics (wall clocks, throughputs, latencies) are machine-
 //!   dependent: they are only required to be finite and non-negative (a
 //!   sub-resolution wall clock legitimately renders as zero);
-//! * **loose** metrics (anything under an `accuracy` object, and the query
-//!   result counts of the thread-skewed in-process workload) depend on
-//!   thread interleaving: they are only required to be finite and
-//!   non-negative.
+//! * **loose** metrics (anything under an `accuracy` object, the query
+//!   result counts of the thread-skewed in-process workload, and the
+//!   readiness-loop diagnostics of the TCP documents) depend on thread
+//!   interleaving or kernel scheduling: they are only required to be finite
+//!   and non-negative.
 //!
 //! Any structural difference — missing key, extra key, array length change,
 //! schema string change — fails the check outright: schema evolution must go
@@ -208,9 +209,11 @@ enum MetricClass {
 /// counts, occupancy diagnostics and dedup counters are seed-deterministic
 /// (strict), while every wall clock and throughput below is machine-
 /// dependent (sanity-only).
-const TIMING_KEYS: [&str; 14] = [
+const TIMING_KEYS: [&str; 16] = [
     "wall_ms",
     "ingest_wall_s",
+    "open_wall_s",
+    "opens_per_sec",
     "query_wall_s",
     "rect_wall_s",
     "nearest_wall_s",
@@ -231,6 +234,12 @@ const TIMING_KEYS: [&str; 14] = [
 /// moment, making them fully seed-determined (strict).
 const SKEW_DEPENDENT_KEYS: [&str; 3] = ["rect_results", "nearest_results", "zone_events"];
 
+/// Readiness-loop diagnostics: how many times a reactor woke, how often a
+/// wakeup found nothing to do, how often ingest admission pushed back. They
+/// depend on kernel scheduling and batching, never on the seed, so they are
+/// loose in every document that carries them.
+const SCHEDULING_KEYS: [&str; 3] = ["readiness_wakeups", "spurious_wakeups", "backpressure_stalls"];
+
 fn classify(path: &[String], skewed_results: bool) -> MetricClass {
     let last = path.last().map(String::as_str).unwrap_or("");
     // Everything under the thread-skewed `accuracy` object is loose; the
@@ -240,6 +249,9 @@ fn classify(path: &[String], skewed_results: bool) -> MetricClass {
     }
     if TIMING_KEYS.contains(&last) {
         return MetricClass::Timing;
+    }
+    if SCHEDULING_KEYS.contains(&last) {
+        return MetricClass::Loose;
     }
     if skewed_results && SKEW_DEPENDENT_KEYS.contains(&last) {
         return MetricClass::Loose;
@@ -283,9 +295,12 @@ impl CheckReport {
 pub fn compare_baseline(baseline: &Json, current: &Json) -> CheckReport {
     // Whether this document's query-result counts are thread-skew dependent
     // (see SKEW_DEPENDENT_KEYS): true for the in-process throughput
-    // workload, false for the pinned-instant TCP workload, whose result
-    // counts are gated strictly.
-    let skewed_results = !matches!(baseline.get("schema"), Some(Json::Str(s)) if s == "mbdr-net/1");
+    // workload, false for the pinned-instant TCP workloads (`mbdr-net/1`
+    // and `mbdr-connscale/1`), whose result counts are gated strictly.
+    let skewed_results = !matches!(
+        baseline.get("schema"),
+        Some(Json::Str(s)) if s == "mbdr-net/1" || s == "mbdr-connscale/1"
+    );
     let mut report = CheckReport::default();
     walk(baseline, current, &mut Vec::new(), skewed_results, &mut report);
     report
@@ -511,6 +526,29 @@ mod tests {
             (":64000", ":63999"),
         ] {
             let drifted = doc.replace(needle, replacement);
+            let report = compare_baseline(&baseline, &parse_json(&drifted).unwrap());
+            assert!(!report.passed(), "{needle} should be strict");
+        }
+    }
+
+    #[test]
+    fn connscale_schema_gates_counts_strictly_but_not_scheduling_diagnostics() {
+        // In an mbdr-connscale/1 document the thread accounting and the hot
+        // subset's counts are deterministic (strict), while the readiness
+        // diagnostics depend on how the kernel batched wakeups (loose).
+        let doc = r#"{"schema":"mbdr-connscale/1","points":[{"rect_results":80,
+            "resident_threads":11,"pool_threads":5,"open_wall_s":1.25,
+            "server":{"readiness_wakeups":900,"spurious_wakeups":3,
+            "backpressure_stalls":0,"updates_applied":6144}}]}"#;
+        let baseline = parse_json(doc).unwrap();
+        let wobbly = doc
+            .replace(":900", ":123456")
+            .replace(":3,", ":0,")
+            .replace("\"backpressure_stalls\":0", "\"backpressure_stalls\":42")
+            .replace("1.25", "0.01");
+        assert!(compare_baseline(&baseline, &parse_json(&wobbly).unwrap()).passed());
+        for needle in [":80", ":11", ":5", ":6144"] {
+            let drifted = doc.replace(needle, &format!("{needle}1"));
             let report = compare_baseline(&baseline, &parse_json(&drifted).unwrap());
             assert!(!report.passed(), "{needle} should be strict");
         }

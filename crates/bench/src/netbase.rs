@@ -1,14 +1,19 @@
-//! The `reproduce net` baseline: the TCP serving-layer workload of
-//! [`mbdr_sim::net_workload`] swept over a small connections grid, emitted as
-//! one JSON document (schema `mbdr-net/1`).
+//! The `reproduce net` and `reproduce connscale` baselines: the TCP
+//! serving-layer workload of [`mbdr_sim::net_workload`] swept over a small
+//! connections grid (schema `mbdr-net/1`), and the high-connection-count
+//! workload of [`mbdr_sim::connscale`] swept over an idle-crowd grid
+//! (schema `mbdr-connscale/1`).
 //!
-//! Counts (updates, frames, bytes, query results) are deterministic for a
-//! given seed — the query phase runs after the flush barrier at one fixed
-//! instant — so the regression gate compares them strictly, while the
-//! throughput and latency fields are machine-dependent and only
-//! sanity-checked.
+//! Counts (updates, frames, bytes, query results, thread accounting) are
+//! deterministic for a given seed — the query phases run after flush
+//! barriers at one fixed instant — so the regression gate compares them
+//! strictly, while the throughput, latency and readiness-diagnostic fields
+//! are machine-dependent and only sanity-checked.
 
-use mbdr_sim::{run_net_workload, NetWorkloadConfig, NetWorkloadReport};
+use mbdr_sim::{
+    run_connscale_workload, run_net_workload, ConnScaleConfig, ConnScaleReport, NetWorkloadConfig,
+    NetWorkloadReport,
+};
 
 /// The (producer, query) connection counts the baseline sweeps: a serial
 /// reference point and the concurrent shape the serving layer exists for.
@@ -48,6 +53,67 @@ pub fn render_net_json(scale: f64, seed: u64, reports: &[NetWorkloadReport]) -> 
     out
 }
 
+/// The (total, hot) connection counts the connection-scale baseline sweeps:
+/// a mid-size point and the multi-thousand shape the reactor exists for.
+pub const BASELINE_CONNSCALE: [(usize, usize); 2] = [(1_024, 32), (4_096, 64)];
+
+/// Runs the connection-scale grid at the given scale (`scale` shrinks the
+/// idle crowd and hot subset together; counts never drop below a small
+/// floor so the workload stays meaningful at CI smoke scales).
+pub fn connscale_grid(scale: f64, seed: u64) -> Vec<ConnScaleReport> {
+    BASELINE_CONNSCALE
+        .iter()
+        .map(|&(connections, hot)| {
+            let connections = ((connections as f64 * scale).round() as usize).max(32);
+            run_connscale_workload(&ConnScaleConfig {
+                connections,
+                hot_connections: ((hot as f64 * scale).round() as usize).max(4).min(connections),
+                rect_queries: ((256.0 * scale).round() as usize).max(32),
+                seed,
+                ..ConnScaleConfig::default()
+            })
+        })
+        .collect()
+}
+
+/// Renders the connection-scale grid as one JSON document (schema
+/// `mbdr-connscale/1`).
+pub fn render_connscale_json(scale: f64, seed: u64, reports: &[ConnScaleReport]) -> String {
+    let mut out =
+        format!("{{\"schema\":\"mbdr-connscale/1\",\"scale\":{scale},\"seed\":{seed},\"points\":[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report.to_json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The file-descriptor budget `connscale` needs at the given scale: two fds
+/// per connection (client + server end, both in this process) for the
+/// largest grid point, plus slack for the pollers, wakers, listeners and
+/// whatever the process already has open.
+pub fn connscale_fd_demand(scale: f64) -> u64 {
+    let largest = BASELINE_CONNSCALE
+        .iter()
+        .map(|&(connections, _)| ((connections as f64 * scale).round() as u64).max(32))
+        .max()
+        .unwrap_or(32);
+    2 * largest + 256
+}
+
+/// The soft `RLIMIT_NOFILE` of this process (Linux: parsed from
+/// `/proc/self/limits`; `None` where that file does not exist), so
+/// `reproduce connscale` can refuse with a clear message instead of dying
+/// mid-run on `EMFILE`.
+pub fn open_file_soft_limit() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +135,38 @@ mod tests {
         assert!(json.contains("\"producer_connections\":4"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn connscale_smoke_grid_holds_every_connection() {
+        // Tiny smoke scale: the same path CI exercises (32+32 connections).
+        let reports = connscale_grid(0.02, 7);
+        assert_eq!(reports.len(), BASELINE_CONNSCALE.len());
+        for r in &reports {
+            assert_eq!(r.updates_applied, r.updates_sent);
+            assert_eq!(r.server.connections_dropped, 0);
+            assert_eq!(r.server.evicted_slow, 0);
+            assert_eq!(r.server.register_failures, 0);
+            assert_eq!(r.pool_threads, 5, "accept + 2 reactors + 2 ingest workers");
+        }
+        let json = render_connscale_json(0.02, 7, &reports);
+        assert!(json.contains("\"schema\":\"mbdr-connscale/1\""));
+        assert!(json.contains("\"resident_threads\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fd_demand_scales_with_the_largest_grid_point() {
+        assert_eq!(connscale_fd_demand(1.0), 2 * 4_096 + 256);
+        assert!(connscale_fd_demand(0.02) < 1_000);
+    }
+
+    #[test]
+    fn soft_fd_limit_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            let limit = open_file_soft_limit().expect("parse /proc/self/limits");
+            assert!(limit >= 64, "soft limit {limit} suspiciously small");
+        }
     }
 }

@@ -13,6 +13,7 @@ use mbdr_core::{Frame, PositionRecord, Request, Response, ZoneEventRecord};
 use mbdr_geo::{Aabb, Point};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Totals a flush barrier reports for its connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,12 +24,37 @@ pub struct FlushSummary {
     pub updates_applied: u64,
 }
 
+/// Timeout and size configuration of a [`NetClient`].
+///
+/// The defaults block forever, matching plain [`NetClient::connect`];
+/// workload drivers talking to a server that might wedge should set both
+/// timeouts so a dead peer surfaces as an error instead of a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (`None` blocks).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each response read (`None` blocks). A timeout surfaces as
+    /// [`NetError::Io`] with a `WouldBlock`/`TimedOut` kind; the connection
+    /// is unusable afterwards (a late response would desynchronize the
+    /// stream) — call [`NetClient::reconnect_with_fresh_sequence`].
+    pub read_timeout: Option<Duration>,
+    /// Per-message size cap in both directions (0 means the 1 MiB default);
+    /// see [`NetClient::set_max_message_bytes`].
+    pub max_message_bytes: u32,
+}
+
 /// A blocking serving-layer connection.
 pub struct NetClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    peer: SocketAddr,
+    config: ClientConfig,
     max_message_bytes: u32,
     bytes_sent: u64,
+    /// Highest update sequence observed in frames sent on this client
+    /// (across reconnects), so a reconnect can resume above everything the
+    /// old connection may have applied.
+    max_sequence_sent: u64,
     /// Reusable outgoing-message encode buffer (zero allocations per frame
     /// in steady state).
     send_buf: Vec<u8>,
@@ -37,19 +63,64 @@ pub struct NetClient {
 }
 
 impl NetClient {
-    /// Connects to a serving layer.
+    /// Connects to a serving layer with default (blocking) configuration.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<NetClient> {
-        let writer = TcpStream::connect(addr)?;
-        let _ = writer.set_nodelay(true);
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a serving layer with explicit timeout configuration.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> std::io::Result<NetClient> {
+        let mut last_err = None;
+        let mut connected = None;
+        for candidate in addr.to_socket_addrs()? {
+            match dial(candidate, config) {
+                Ok(stream) => {
+                    connected = Some((stream, candidate));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some((writer, peer)) = connected else {
+            return Err(last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses to connect to")
+            }));
+        };
         let reader = BufReader::new(writer.try_clone()?);
+        let max_message_bytes = if config.max_message_bytes == 0 {
+            DEFAULT_MAX_MESSAGE_BYTES
+        } else {
+            config.max_message_bytes
+        };
         Ok(NetClient {
             reader,
             writer,
-            max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
+            peer,
+            config,
+            max_message_bytes,
             bytes_sent: 0,
+            max_sequence_sent: 0,
             send_buf: Vec::new(),
             recv_buf: Vec::new(),
         })
+    }
+
+    /// Replaces a wedged or dead connection with a fresh one to the same
+    /// server (same [`ClientConfig`]) and returns the sequence number the
+    /// caller should stamp on its next update: strictly above every
+    /// sequence sent on the old connection, so updates in flight when it
+    /// wedged can never shadow the resumed stream under the tracker's
+    /// staleness rule. Counters and reusable buffers survive the swap.
+    pub fn reconnect_with_fresh_sequence(&mut self) -> std::io::Result<u64> {
+        let writer = dial(self.peer, self.config)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        self.writer = writer;
+        self.reader = reader;
+        self.recv_buf.clear();
+        Ok(self.max_sequence_sent + 1)
     }
 
     /// The local address of the underlying socket.
@@ -77,6 +148,9 @@ impl NetClient {
     /// for ingest and answers nothing — call [`NetClient::flush`] for the
     /// write barrier.
     pub fn send_frame(&mut self, frame: &Frame) -> Result<(), NetError> {
+        for update in &frame.updates {
+            self.max_sequence_sent = self.max_sequence_sent.max(update.sequence);
+        }
         // Single-pass encode into the connection's reusable buffer: kind
         // byte + frame, no allocation per frame once the buffer is warm.
         let mut body = std::mem::take(&mut self.send_buf);
@@ -224,4 +298,15 @@ impl NetClient {
             Err(NetError::Closed)
         }
     }
+}
+
+/// Establishes one configured TCP connection.
+fn dial(addr: SocketAddr, config: ClientConfig) -> std::io::Result<TcpStream> {
+    let stream = match config.connect_timeout {
+        Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+        None => TcpStream::connect(addr)?,
+    };
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(config.read_timeout)?;
+    Ok(stream)
 }

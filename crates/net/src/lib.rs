@@ -3,40 +3,53 @@
 //! The paper's dead-reckoning protocols exist to cut *network* traffic
 //! between moving hosts and a location server — this crate puts the verified
 //! wire codec of `mbdr_core::wire` on real sockets. It is std-only (no
-//! external dependencies): a threaded [`NetServer`] accepts length-prefixed
-//! update [`Frame`](mbdr_core::Frame)s, feeds them to
+//! external dependencies): an event-driven [`NetServer`] multiplexes every
+//! connection over a **fixed** thread pool (nonblocking sockets on a
+//! readiness loop — epoll on Linux, `poll(2)` elsewhere), parses
+//! length-prefixed update [`Frame`](mbdr_core::Frame)s incrementally, feeds
+//! them to
 //! [`LocationService::apply_frame_bytes`](mbdr_locserver::LocationService::apply_frame_bytes)
-//! through a bounded ingest queue, and answers the binary query protocol of
+//! through bounded ingest queues, and answers the binary query protocol of
 //! [`mbdr_core::wire::query`] (rect / nearest / zone subscriptions) on the
 //! same connection. [`NetClient`] is the matching blocking client.
 //!
 //! * [`transport`] — the length-prefixed message framing with its hostile-
-//!   length-prefix guard.
-//! * [`NetServer`] / [`ServerConfig`] — accept thread, per-connection
-//!   readers, bounded ingest queue, worker pool, flush barrier.
-//! * [`NetClient`] / [`FlushSummary`] — one blocking connection.
+//!   length-prefix guard (used by the blocking client; the server parses
+//!   the same framing incrementally).
+//! * [`NetServer`] / [`ServerConfig`] — accept thread, reactor pool,
+//!   bounded ingest queues, backpressure and slow-client eviction, flush
+//!   barrier (see [`server`] for the model).
+//! * [`sys`] — the readiness backends ([`PollerBackend`]), the one place in
+//!   the workspace with `unsafe` code.
+//! * [`NetClient`] / [`ClientConfig`] / [`FlushSummary`] — one blocking
+//!   connection, with optional connect/read timeouts.
 //! * [`ServerStats`] / [`ServerStatsSnapshot`] — per-cause counters in the
 //!   `LinkStats` discipline, so tests can assert exactly why a connection
 //!   ended.
 //! * [`NetError`] — everything that can go wrong, typed.
 //!
 //! The concurrent loopback workload lives in `mbdr_sim::net_workload`
-//! (`reproduce net` emits its JSON baseline), and the `net_serve` example
-//! drives a small fleet through the full path.
+//! (`reproduce net` emits its JSON baseline, `reproduce connscale` the
+//! high-connection-count one), and the `net_serve` example drives a small
+//! fleet through the full path.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod client;
 pub mod error;
+mod reactor;
 pub mod server;
 pub mod stats;
+#[allow(unsafe_code)]
+pub mod sys;
 pub mod transport;
 
-pub use client::{FlushSummary, NetClient};
+pub use client::{ClientConfig, FlushSummary, NetClient};
 pub use error::NetError;
 pub use server::{NetServer, ServerConfig};
 pub use stats::{ServerStats, ServerStatsSnapshot};
+pub use sys::PollerBackend;
 
 #[cfg(test)]
 mod tests {

@@ -1,127 +1,113 @@
-//! The threaded TCP server in front of a [`LocationService`].
+//! The event-driven TCP server in front of a [`LocationService`].
 //!
 //! ## Thread model
 //!
-//! One **accept** thread hands each connection to its own **reader** thread.
-//! Readers decode length-prefixed [`Request`]s: queries (rect / nearest /
-//! zone poll) are answered inline on the connection — they only take shard
-//! *read* locks, so a slow client never blocks ingest — while ingest frames
-//! are pushed onto a **bounded queue** drained by ingest workers calling
-//! [`LocationService::apply_frame_bytes`]. The bound is the backpressure:
-//! when producers outrun the store, their reader threads block on the queue
-//! (and ultimately the senders block on TCP), instead of the server
-//! buffering unboundedly.
+//! The pool is **fixed**: one accept thread, `reactor_workers` reactor
+//! threads multiplexing every connection over nonblocking sockets (epoll on
+//! Linux, `poll(2)` elsewhere — see [`crate::sys`]), and `ingest_workers`
+//! threads applying frames to the service. Ten connections or ten thousand,
+//! the thread count does not move; per-connection cost is a socket, a
+//! registration and a state machine (see [`crate::reactor`]).
 //!
-//! Each connection is pinned to one worker (round-robin at accept time, one
-//! bounded queue per worker): the tracker's staleness rule rejects updates
-//! that arrive out of order, so frames from one source must be applied in
-//! the order the socket delivered them — two workers racing frames of the
-//! same connection would drop legitimate updates. Pinning preserves the
-//! per-source order TCP already paid for, while different connections still
-//! ingest in parallel.
+//! Each connection is owned by one reactor (round-robin at accept) and
+//! pinned to one ingest worker: the tracker's staleness rule rejects updates
+//! that arrive out of order, so frames from one source must apply in the
+//! order the socket delivered them — one parser and one applier per
+//! connection preserve the per-source order TCP already paid for, while
+//! different connections still ingest in parallel. Queries (rect / nearest /
+//! zone poll) are answered on the reactor — they only take shard *read*
+//! locks, so a slow consumer never blocks ingest.
+//!
+//! ## Backpressure and eviction
+//!
+//! Nothing in the server blocks on a client:
+//!
+//! * A full ingest queue parks the frame on its connection and withdraws
+//!   read interest (counted as a `backpressure_stall`); TCP then pushes back
+//!   on that producer while every other connection keeps being served.
+//! * Responses go through a bounded per-connection outbound buffer drained
+//!   on writability. A client that stops reading either overflows
+//!   [`ServerConfig::max_outbound_bytes`] or stays write-blocked past
+//!   [`ServerConfig::write_stall_budget`] — both evict it (`evicted_slow`).
+//! * [`ServerConfig::max_connections`] bounds admission at accept time;
+//!   refusals are counted under `register_failures`, the same counter a
+//!   failed poller registration bumps (the reactor-era shape of the old
+//!   "reader thread failed to spawn" path).
 //!
 //! ## The flush barrier
 //!
 //! Ingest is fire-and-forget (no per-frame ack — that would halve throughput
 //! on high-latency uplinks), so a client that needs read-your-writes sends
-//! [`Request::Flush`]: the reader waits until every frame previously received
-//! on *this* connection has been applied, then answers
-//! [`Response::FlushDone`] with the connection's frame and update totals.
+//! [`mbdr_core::Request::Flush`]: the reactor pauses that connection's
+//! parsing until every frame previously received on it has been applied,
+//! then answers [`mbdr_core::Response::FlushDone`] with the connection's
+//! frame and update totals. The wait is a flag, not a blocked thread.
 //!
 //! ## Hostile input
 //!
 //! Every failure is typed and counted (see [`crate::ServerStats`]): an
 //! oversized length prefix or an undecodable request gets a best-effort
-//! [`Response::Error`] and the connection is dropped; a frame payload that
-//! fails to decode at apply time does the same from the worker side. No
+//! [`mbdr_core::Response::Error`] and the connection is dropped; a frame
+//! payload that
+//! fails to decode at apply time does the same via a worker completion. No
 //! input panics a server thread, so the service's shard locks can never be
 //! poisoned by traffic.
 
-use crate::error::NetError;
+use crate::reactor::{ingest_worker, new_poller, IngestJob, NewConn, Reactor, ReactorShared};
 use crate::stats::{ServerStats, ServerStatsSnapshot};
-use crate::transport::{read_message_into, write_message, DEFAULT_MAX_MESSAGE_BYTES};
-use mbdr_core::wire::query::{encode_positions_into, encode_zone_events_into};
-use mbdr_core::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
-use mbdr_locserver::{
-    IndexStats, LocationService, PositionReport, QueryScratch, ZoneEvent, ZoneEventKind,
-    ZoneWatcher,
-};
-use std::collections::HashMap;
-use std::io::BufReader;
+use crate::sys::PollerBackend;
+use crate::transport::DEFAULT_MAX_MESSAGE_BYTES;
+use mbdr_locserver::{IndexStats, LocationService};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
+    /// Reactor threads multiplexing the connections. Every connection is
+    /// owned by exactly one reactor.
+    pub reactor_workers: usize,
     /// Threads applying ingest frames to the service. Every connection is
     /// pinned to one worker so its frames apply in arrival order.
     pub ingest_workers: usize,
-    /// Capacity of each worker's bounded ingest queue (frames). Readers
-    /// block when their worker's queue is full — the server's backpressure
-    /// towards fast producers.
+    /// Capacity of each worker's bounded ingest queue (frames). A full
+    /// queue parks the producing connection (read-interest backoff) — the
+    /// server's backpressure towards fast producers.
     pub ingest_queue: usize,
     /// Per-message size cap; larger length prefixes are refused unread.
     pub max_message_bytes: u32,
-    /// Socket write timeout for responses. A client that stops reading
-    /// (deliberately or not) can fill its TCP receive window; the timeout
-    /// bounds how long any server thread can stay stuck in a response write
-    /// before the connection is dropped instead.
-    pub write_timeout: std::time::Duration,
+    /// Bound on a connection's *undrained* outbound backlog. A connection
+    /// still holding more than this many buffered bytes when its next
+    /// response is ready is evicted as a slow client (a single response may
+    /// exceed the bound — a prompt reader drains it in readiness chunks).
+    pub max_outbound_bytes: usize,
+    /// How long a connection may sit write-blocked (buffered output, socket
+    /// not accepting bytes) before it is evicted as a slow client.
+    pub write_stall_budget: Duration,
+    /// Admission cap: connections accepted while this many are already
+    /// registered are refused at accept time (`register_failures`).
+    pub max_connections: usize,
+    /// Which readiness backend the reactors use.
+    pub backend: PollerBackend,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            reactor_workers: 2,
             ingest_workers: 2,
             ingest_queue: 1024,
             max_message_bytes: DEFAULT_MAX_MESSAGE_BYTES,
-            write_timeout: std::time::Duration::from_secs(30),
+            max_outbound_bytes: 256 * 1024,
+            write_stall_budget: Duration::from_secs(5),
+            max_connections: 16 * 1024,
+            backend: PollerBackend::Auto,
         }
     }
-}
-
-/// Per-connection ingest accounting, shared between the connection's reader
-/// thread and the ingest workers.
-#[derive(Default)]
-struct Progress {
-    /// Frames this connection has pushed onto the ingest queue.
-    enqueued: u64,
-    /// Frames the workers have finished with (applied or failed).
-    applied_frames: u64,
-    /// Updates those frames applied to registered objects.
-    applied_updates: u64,
-    /// Set when a frame payload failed to decode: the connection is being
-    /// torn down and a pending flush must not wait for more progress.
-    failed: bool,
-}
-
-/// State shared between a connection's reader thread and the ingest workers.
-struct ConnShared {
-    /// The write half, mutexed so reader-thread responses and worker-side
-    /// error responses never interleave bytes.
-    writer: Mutex<TcpStream>,
-    /// A dedicated handle for tearing the socket down, so teardown never
-    /// has to wait on the writer mutex (a reader can legitimately hold it
-    /// for up to the write timeout).
-    shutdown_handle: TcpStream,
-    progress: Mutex<Progress>,
-    done: Condvar,
-}
-
-impl ConnShared {
-    fn teardown(&self) {
-        let _ = self.shutdown_handle.shutdown(Shutdown::Both);
-    }
-}
-
-/// One frame travelling from a connection reader to an ingest worker.
-struct IngestJob {
-    frame_bytes: Vec<u8>,
-    conn: Arc<ConnShared>,
 }
 
 /// A running TCP serving layer over one shared [`LocationService`].
@@ -135,14 +121,15 @@ pub struct NetServer {
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    reactor_shareds: Vec<Arc<ReactorShared>>,
+    reactor_handles: Vec<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
-    conn_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool_threads: usize,
 }
 
 impl NetServer {
     /// Binds the serving layer to `addr` (use port 0 for an ephemeral port)
-    /// and starts the accept and ingest-worker threads.
+    /// and starts the fixed thread pool: accept + reactors + ingest workers.
     pub fn bind(
         service: Arc<LocationService>,
         addr: impl ToSocketAddrs,
@@ -152,40 +139,73 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        // One bounded queue per worker: connections are pinned round-robin,
-        // so one source's frames are never raced by two workers.
-        let mut worker_txs = Vec::new();
-        let mut worker_handles = Vec::new();
-        for i in 0..config.ingest_workers.max(1) {
+        let active_conns = Arc::new(AtomicUsize::new(0));
+        let n_reactors = config.reactor_workers.max(1);
+        let n_workers = config.ingest_workers.max(1);
+
+        // Pollers and wakers are created here so a resource failure (fd
+        // limit, unsupported platform) surfaces from bind, not from a
+        // thread panic later.
+        let mut pollers = Vec::with_capacity(n_reactors);
+        let mut reactor_shareds = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            let (poller, waker, wake_rx) = new_poller(&config)?;
+            pollers.push((poller, wake_rx));
+            reactor_shareds.push(Arc::new(ReactorShared {
+                incoming: Mutex::new(Vec::new()),
+                completions: Mutex::new(Vec::new()),
+                waker,
+                shutdown: AtomicBool::new(false),
+            }));
+        }
+
+        // One bounded queue per ingest worker: connections are pinned, so
+        // one source's frames are never raced by two workers.
+        let mut worker_txs: Vec<SyncSender<IngestJob>> = Vec::with_capacity(n_workers);
+        let mut worker_handles = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
             let (tx, rx) = std::sync::mpsc::sync_channel::<IngestJob>(config.ingest_queue.max(1));
             worker_txs.push(tx);
             let service = Arc::clone(&service);
             let stats = Arc::clone(&stats);
+            let reactors = reactor_shareds.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("mbdr-net-ingest-{i}"))
-                    .spawn(move || ingest_worker(&rx, &service, &stats))?,
+                    .spawn(move || ingest_worker(&rx, &service, &stats, &reactors))?,
             );
         }
-        let conn_streams = Arc::new(Mutex::new(HashMap::new()));
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let mut reactor_handles = Vec::with_capacity(n_reactors);
+        for (index, (poller, wake_rx)) in pollers.into_iter().enumerate() {
+            let reactor = Reactor {
+                index,
+                shared: Arc::clone(&reactor_shareds[index]),
+                service: Arc::clone(&service),
+                stats: Arc::clone(&stats),
+                worker_txs: worker_txs.clone(),
+                config,
+                active_conns: Arc::clone(&active_conns),
+                poller,
+                wake_rx,
+            };
+            reactor_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mbdr-net-reactor-{index}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+        // The reactors hold the only long-lived senders; drop ours so the
+        // workers see disconnect once the reactors exit.
+        drop(worker_txs);
+
         let accept_handle = {
             let shutdown = Arc::clone(&shutdown);
-            let service = Arc::clone(&service);
             let stats = Arc::clone(&stats);
-            let conn_streams = Arc::clone(&conn_streams);
-            let conn_handles = Arc::clone(&conn_handles);
+            let reactors = reactor_shareds.clone();
+            let active_conns = Arc::clone(&active_conns);
             std::thread::Builder::new().name("mbdr-net-accept".into()).spawn(move || {
-                accept_loop(
-                    &listener,
-                    &shutdown,
-                    &worker_txs,
-                    &service,
-                    &stats,
-                    config,
-                    &conn_streams,
-                    &conn_handles,
-                );
+                accept_loop(&listener, &shutdown, &stats, config, &reactors, &active_conns);
             })?
         };
         Ok(NetServer {
@@ -194,9 +214,10 @@ impl NetServer {
             stats,
             shutdown,
             accept_handle: Some(accept_handle),
+            reactor_shareds,
+            reactor_handles,
             worker_handles,
-            conn_streams,
-            conn_handles,
+            pool_threads: 1 + n_reactors + n_workers,
         })
     }
 
@@ -213,6 +234,13 @@ impl NetServer {
     /// A copy of the serving counters.
     pub fn stats(&self) -> ServerStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The size of the fixed thread pool (accept + reactors + ingest
+    /// workers). Connection count does not change it — that is the point;
+    /// the soak tests assert against this number.
+    pub fn pool_threads(&self) -> usize {
+        self.pool_threads
     }
 
     /// Spatial-index occupancy of the fronted service — gauges computed from
@@ -239,15 +267,15 @@ impl NetServer {
         // Unblock the accept loop: it checks the flag after every accept.
         let _ = TcpStream::connect(self.addr);
         let _ = accept_handle.join();
-        for (_, stream) in self.conn_streams.lock().expect("conn registry").drain() {
-            let _ = stream.shutdown(Shutdown::Both);
+        for shared in &self.reactor_shareds {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.waker.wake();
         }
-        let handles: Vec<_> = self.conn_handles.lock().expect("conn handles").drain(..).collect();
-        for handle in handles {
+        for handle in self.reactor_handles.drain(..) {
             let _ = handle.join();
         }
-        // Every sender is gone once the accept loop and all readers exited,
-        // so the workers drain the queue and see the disconnect.
+        // Every ingest sender lived inside a reactor; with the reactors
+        // joined, the workers drain their queues and see the disconnect.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
@@ -260,17 +288,15 @@ impl Drop for NetServer {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &TcpListener,
     shutdown: &AtomicBool,
-    worker_txs: &[SyncSender<IngestJob>],
-    service: &Arc<LocationService>,
     stats: &Arc<ServerStats>,
     config: ServerConfig,
-    conn_streams: &Arc<Mutex<HashMap<u64, TcpStream>>>,
-    conn_handles: &Mutex<Vec<JoinHandle<()>>>,
+    reactors: &[Arc<ReactorShared>],
+    active_conns: &Arc<AtomicUsize>,
 ) {
+    let max_connections = config.max_connections.max(1);
     let mut next_conn_id = 0u64;
     for incoming in listener.incoming() {
         if shutdown.load(Ordering::Acquire) {
@@ -280,320 +306,27 @@ fn accept_loop(
             continue;
         };
         ServerStats::bump(&stats.connections_accepted);
-        let _ = stream.set_nodelay(true);
-        // A client that stops reading must not pin server threads in
-        // response writes forever (see ServerConfig::write_timeout).
-        let _ = stream.set_write_timeout(Some(config.write_timeout));
-        let halves = (stream.try_clone(), stream.try_clone(), stream.try_clone());
-        let (write_half, registry_half, shutdown_half) = match halves {
-            (Ok(w), Ok(r), Ok(s)) => (w, r, s),
-            _ => {
-                ServerStats::bump(&stats.connections_dropped);
-                continue;
-            }
-        };
+        // Admission cap: beyond it the connection cannot be registered, the
+        // reactor-era shape of "the reader thread failed to spawn".
+        if active_conns.load(Ordering::Relaxed) >= max_connections {
+            ServerStats::bump(&stats.register_failures);
+            ServerStats::bump(&stats.connections_dropped);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+            // A socket that cannot be made nonblocking would wedge a
+            // reactor; refuse it the same way.
+            ServerStats::bump(&stats.register_failures);
+            ServerStats::bump(&stats.connections_dropped);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
         let conn_id = next_conn_id;
         next_conn_id += 1;
-        conn_streams.lock().expect("conn registry").insert(conn_id, registry_half);
-        let conn = Arc::new(ConnShared {
-            writer: Mutex::new(write_half),
-            shutdown_handle: shutdown_half,
-            progress: Mutex::new(Progress::default()),
-            done: Condvar::new(),
-        });
-        // Connections are pinned to workers round-robin (see module docs).
-        let tx = worker_txs[conn_id as usize % worker_txs.len()].clone();
-        let service = Arc::clone(service);
-        let conn_stats = Arc::clone(stats);
-        let registry = Arc::clone(conn_streams);
-        let spawned = std::thread::Builder::new().name("mbdr-net-conn".into()).spawn(move || {
-            serve_connection(stream, &conn, &tx, &service, &conn_stats, config.max_message_bytes);
-            // Reap this connection's registry entry so a long-running server
-            // with churning clients does not leak one fd per connection.
-            registry.lock().expect("conn registry").remove(&conn_id);
-        });
-        let mut handles = conn_handles.lock().expect("conn handles");
-        // Reap finished reader threads for the same reason (dropping a
-        // finished JoinHandle merely detaches an already-dead thread).
-        handles.retain(|h: &JoinHandle<()>| !h.is_finished());
-        match spawned {
-            Ok(handle) => handles.push(handle),
-            Err(_) => {
-                // The reader never ran, so nobody else will reap the
-                // registry entry — drop it here or the fd leaks, which is
-                // the worst outcome under the very thread exhaustion that
-                // makes spawn fail.
-                conn_streams.lock().expect("conn registry").remove(&conn_id);
-                ServerStats::bump(&stats.connections_dropped);
-            }
-        }
-    }
-}
-
-/// Per-connection reusable resources: read/write buffers, query scratch and
-/// the zone watcher. Everything here is cleared and refilled per request, so
-/// in steady state the query phase of a connection allocates nothing — the
-/// buffers grow to their high-water marks and stay there.
-struct ConnState {
-    watcher: ZoneWatcher,
-    /// Wire zone id per watcher zone index (dense; `ZoneWatcher::add_zone`
-    /// hands out consecutive indexes), so mapping a poll event back to the
-    /// wire id is an array lookup — no string hashing on the poll path.
-    zone_wire_ids: Vec<u32>,
-    /// Incoming message bodies (reused across reads).
-    body: Vec<u8>,
-    /// Outgoing response encoding buffer.
-    write_buf: Vec<u8>,
-    scratch: QueryScratch,
-    reports: Vec<PositionReport>,
-    records: Vec<PositionRecord>,
-    zone_events: Vec<ZoneEvent>,
-    event_records: Vec<ZoneEventRecord>,
-}
-
-impl ConnState {
-    fn new() -> Self {
-        ConnState {
-            watcher: ZoneWatcher::new(),
-            zone_wire_ids: Vec::new(),
-            body: Vec::new(),
-            write_buf: Vec::new(),
-            scratch: QueryScratch::default(),
-            reports: Vec::new(),
-            records: Vec::new(),
-            zone_events: Vec::new(),
-            event_records: Vec::new(),
-        }
-    }
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    conn: &Arc<ConnShared>,
-    tx: &SyncSender<IngestJob>,
-    service: &LocationService,
-    stats: &ServerStats,
-    max_message_bytes: u32,
-) {
-    let mut reader = BufReader::new(stream);
-    let mut st = ConnState::new();
-    loop {
-        match read_message_into(&mut reader, max_message_bytes, &mut st.body) {
-            Ok(false) => {
-                // A worker tearing the socket down on a bad frame surfaces
-                // here as EOF too: the failure flag tells the two apart.
-                // Frames can still be in this connection's queue (a client
-                // may send a corrupt frame and close immediately), so wait
-                // for them to drain before attributing the teardown —
-                // otherwise the race between this EOF and the worker's
-                // verdict would miscount a drop as a clean close.
-                let (_, _, failed) = wait_for_drain(conn);
-                if failed {
-                    ServerStats::bump(&stats.connections_dropped);
-                } else {
-                    ServerStats::bump(&stats.connections_closed);
-                }
-                return;
-            }
-            Ok(true) => {
-                ServerStats::add(&stats.bytes_received, 4 + st.body.len() as u64);
-                // Decoding from the reused buffer copies only an ingest
-                // payload (which must outlive the buffer on the worker
-                // queue); query requests are parsed into stack values.
-                let request = match Request::decode(&st.body) {
-                    Ok(request) => request,
-                    Err(_) => {
-                        ServerStats::bump(&stats.request_decode_errors);
-                        let _ = respond(conn, stats, &Response::Error(ServeError::BadRequest));
-                        return drop_connection(conn, stats);
-                    }
-                };
-                if !handle_request(request, conn, tx, service, stats, &mut st) {
-                    return;
-                }
-            }
-            Err(NetError::Oversized { .. }) => {
-                ServerStats::bump(&stats.oversized_messages);
-                let _ = respond(conn, stats, &Response::Error(ServeError::Oversized));
-                return drop_connection(conn, stats);
-            }
-            Err(NetError::Decode(_)) => {
-                ServerStats::bump(&stats.request_decode_errors);
-                let _ = respond(conn, stats, &Response::Error(ServeError::BadRequest));
-                return drop_connection(conn, stats);
-            }
-            Err(_) => return drop_connection(conn, stats),
-        }
-    }
-}
-
-/// Handles one decoded request; returns `false` when the connection must end.
-fn handle_request(
-    request: Request,
-    conn: &Arc<ConnShared>,
-    tx: &SyncSender<IngestJob>,
-    service: &LocationService,
-    stats: &ServerStats,
-    st: &mut ConnState,
-) -> bool {
-    match request {
-        Request::Ingest(frame_bytes) => {
-            ServerStats::bump(&stats.frames_received);
-            conn.progress.lock().expect("progress lock").enqueued += 1;
-            if tx.send(IngestJob { frame_bytes, conn: Arc::clone(conn) }).is_err() {
-                drop_connection(conn, stats);
-                return false;
-            }
-        }
-        Request::Rect { area, t } => {
-            service.objects_in_rect_into(&area, t, &mut st.scratch, &mut st.reports);
-            to_records_into(&st.reports, &mut st.records);
-            ServerStats::bump(&stats.queries_answered);
-            st.write_buf.clear();
-            if encode_positions_into(&st.records, &mut st.write_buf).is_err()
-                || respond_encoded(conn, stats, &st.write_buf).is_err()
-            {
-                drop_connection(conn, stats);
-                return false;
-            }
-        }
-        Request::Nearest { from, t, k } => {
-            service.nearest_objects_into(&from, t, k as usize, &mut st.scratch, &mut st.reports);
-            to_records_into(&st.reports, &mut st.records);
-            ServerStats::bump(&stats.queries_answered);
-            st.write_buf.clear();
-            if encode_positions_into(&st.records, &mut st.write_buf).is_err()
-                || respond_encoded(conn, stats, &st.write_buf).is_err()
-            {
-                drop_connection(conn, stats);
-                return false;
-            }
-        }
-        Request::ZoneSubscribe { zone, area } => {
-            // Fire-and-forget: requests on one connection are processed in
-            // order, so a subsequent poll is guaranteed to see the zone.
-            // The zone name is interned once here; the poll path maps the
-            // watcher's dense zone index back to the wire id with an array
-            // lookup instead of parsing (or hashing) names per event.
-            let index = st.watcher.add_zone(zone.to_string(), area);
-            debug_assert_eq!(index, st.zone_wire_ids.len());
-            st.zone_wire_ids.push(zone);
-        }
-        Request::ZonePoll { t } => {
-            st.watcher.evaluate_into(service, t, &mut st.zone_events);
-            st.event_records.clear();
-            st.event_records.extend(st.zone_events.iter().map(|e| ZoneEventRecord {
-                zone: st.zone_wire_ids[e.zone_index],
-                object: e.object.0,
-                entered: matches!(e.kind, ZoneEventKind::Entered),
-                t,
-            }));
-            ServerStats::add(&stats.zone_events_emitted, st.event_records.len() as u64);
-            ServerStats::bump(&stats.queries_answered);
-            st.write_buf.clear();
-            if encode_zone_events_into(&st.event_records, &mut st.write_buf).is_err()
-                || respond_encoded(conn, stats, &st.write_buf).is_err()
-            {
-                drop_connection(conn, stats);
-                return false;
-            }
-        }
-        Request::Flush => {
-            let (frames, updates_applied, failed) = wait_for_drain(conn);
-            if failed {
-                // The worker already sent the error and shut the socket down.
-                drop_connection(conn, stats);
-                return false;
-            }
-            if respond(conn, stats, &Response::FlushDone { frames, updates_applied }).is_err() {
-                drop_connection(conn, stats);
-                return false;
-            }
-        }
-    }
-    true
-}
-
-/// Blocks until every frame enqueued on this connection has been processed
-/// (or its teardown began). Returns `(frames, updates_applied, failed)`.
-fn wait_for_drain(conn: &ConnShared) -> (u64, u64, bool) {
-    let mut progress = conn.progress.lock().expect("progress lock");
-    while progress.applied_frames < progress.enqueued && !progress.failed {
-        progress = conn.done.wait(progress).expect("progress lock");
-    }
-    (progress.enqueued, progress.applied_updates, progress.failed)
-}
-
-/// Converts service reports to wire records in a reusable buffer (cleared
-/// first) — the query paths' counterpart of the old allocating `to_records`.
-fn to_records_into(reports: &[PositionReport], records: &mut Vec<PositionRecord>) {
-    records.clear();
-    records.extend(reports.iter().map(|r| PositionRecord {
-        object: r.object.0,
-        position: r.position,
-        information_age: r.information_age,
-    }));
-}
-
-/// Writes a pre-encoded response body — the zero-allocation send path the
-/// query handlers use with the connection's reusable write buffer.
-fn respond_encoded(conn: &ConnShared, stats: &ServerStats, body: &[u8]) -> Result<(), NetError> {
-    let mut writer = conn.writer.lock().expect("writer lock");
-    let sent = write_message(&mut *writer, body)?;
-    ServerStats::add(&stats.bytes_sent, sent);
-    Ok(())
-}
-
-/// Encodes and writes a response, allocating a fresh buffer — fine for the
-/// cold paths (errors, flush barriers) that keep no per-connection state.
-fn respond(conn: &ConnShared, stats: &ServerStats, response: &Response) -> Result<(), NetError> {
-    let body = response.encode()?;
-    respond_encoded(conn, stats, &body)
-}
-
-fn drop_connection(conn: &ConnShared, stats: &ServerStats) {
-    ServerStats::bump(&stats.connections_dropped);
-    conn.teardown();
-}
-
-fn ingest_worker(rx: &Receiver<IngestJob>, service: &LocationService, stats: &ServerStats) {
-    // Ends when every sender to this worker's queue is gone: shutdown.
-    for job in rx.iter() {
-        match service.apply_frame_bytes(&job.frame_bytes) {
-            Ok(applied) => {
-                ServerStats::add(&stats.updates_applied, applied as u64);
-                let mut progress = job.conn.progress.lock().expect("progress lock");
-                progress.applied_frames += 1;
-                progress.applied_updates += applied as u64;
-                drop(progress);
-                job.conn.done.notify_all();
-            }
-            Err(_) => {
-                // A corrupt frame payload: count it, tell the client, tear
-                // the connection down. The service was never touched, so no
-                // shard state is affected. The failure flag is set *before*
-                // the socket is shut down, so the reader — which wakes on
-                // the resulting EOF — always attributes the teardown to a
-                // drop, never to a clean close.
-                ServerStats::bump(&stats.frame_decode_errors);
-                let mut progress = job.conn.progress.lock().expect("progress lock");
-                progress.applied_frames += 1;
-                progress.failed = true;
-                drop(progress);
-                job.conn.done.notify_all();
-                // Best-effort error response: try_lock so a reader stuck
-                // writing to a non-draining client cannot stall this worker
-                // on the mutex (the socket write itself is bounded by the
-                // connection's write timeout).
-                if let Ok(mut writer) = job.conn.writer.try_lock() {
-                    if let Ok(body) = Response::Error(ServeError::BadRequest).encode() {
-                        if let Ok(sent) = write_message(&mut *writer, &body) {
-                            ServerStats::add(&stats.bytes_sent, sent);
-                        }
-                    }
-                }
-                job.conn.teardown();
-            }
-        }
+        active_conns.fetch_add(1, Ordering::Relaxed);
+        let shared = &reactors[(conn_id % reactors.len() as u64) as usize];
+        shared.incoming.lock().expect("reactor inbox").push(NewConn { stream, conn_id });
+        shared.waker.wake();
     }
 }

@@ -23,6 +23,11 @@ pub struct ServerStats {
     pub(crate) zone_events_emitted: AtomicU64,
     pub(crate) bytes_received: AtomicU64,
     pub(crate) bytes_sent: AtomicU64,
+    pub(crate) evicted_slow: AtomicU64,
+    pub(crate) backpressure_stalls: AtomicU64,
+    pub(crate) readiness_wakeups: AtomicU64,
+    pub(crate) spurious_wakeups: AtomicU64,
+    pub(crate) register_failures: AtomicU64,
 }
 
 impl ServerStats {
@@ -51,6 +56,11 @@ impl ServerStats {
             zone_events_emitted: get(&self.zone_events_emitted),
             bytes_received: get(&self.bytes_received),
             bytes_sent: get(&self.bytes_sent),
+            evicted_slow: get(&self.evicted_slow),
+            backpressure_stalls: get(&self.backpressure_stalls),
+            readiness_wakeups: get(&self.readiness_wakeups),
+            spurious_wakeups: get(&self.spurious_wakeups),
+            register_failures: get(&self.register_failures),
         }
     }
 }
@@ -58,7 +68,8 @@ impl ServerStats {
 /// A point-in-time copy of the server's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStatsSnapshot {
-    /// Connections the accept loop handed to a reader thread.
+    /// Connections the accept loop received (including ones later refused
+    /// at admission or registration).
     pub connections_accepted: u64,
     /// Connections the peer closed cleanly at a message boundary.
     pub connections_closed: u64,
@@ -86,4 +97,22 @@ pub struct ServerStatsSnapshot {
     pub bytes_received: u64,
     /// Bytes written to accepted sockets (length prefixes included).
     pub bytes_sent: u64,
+    /// Connections evicted as slow clients: their bounded outbound buffer
+    /// overflowed, or they sat write-blocked past the configured budget.
+    /// Every eviction is also counted under `connections_dropped`.
+    pub evicted_slow: u64,
+    /// Times a connection's ingest frame was parked because its worker
+    /// queue was full (read-interest backoff; one park per stall, retries
+    /// are not recounted).
+    pub backpressure_stalls: u64,
+    /// Connection readiness events the reactors processed (waker events
+    /// excluded). Scheduling-dependent: a diagnostic, not an invariant.
+    pub readiness_wakeups: u64,
+    /// Readiness events that produced no progress (no bytes moved, no state
+    /// advanced). Scheduling-dependent: a diagnostic, not an invariant.
+    pub spurious_wakeups: u64,
+    /// Connections refused because they could not be registered: the
+    /// admission cap was reached or the poller rejected the socket — the
+    /// reactor-era descendant of "the reader thread failed to spawn".
+    pub register_failures: u64,
 }

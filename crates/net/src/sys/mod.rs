@@ -1,0 +1,312 @@
+//! Readiness multiplexing over the raw OS interfaces — the only place in
+//! the workspace that contains `unsafe` code.
+//!
+//! ## The epoll / poll split
+//!
+//! The reactor needs one primitive: "block until any of these sockets is
+//! readable or writable". The std library deliberately does not expose one,
+//! so this module declares the two classic C entry points itself (the C
+//! library is already linked by std — no new dependency):
+//!
+//! * **epoll** ([`epoll.rs`](self)) — Linux only. Registration is a syscall
+//!   per change (`epoll_ctl`), waiting is O(ready) (`epoll_wait`), so
+//!   thousands of mostly-idle connections cost nothing per wakeup. This is
+//!   the backend the high-connection baseline gate measures.
+//! * **poll** ([`poll.rs`](self)) — the portable POSIX fallback. The fd set
+//!   is rebuilt and handed to the kernel on every call, so waiting is
+//!   O(registered); correct everywhere, cheap only for small sets. It also
+//!   keeps the reactor testable as a second implementation of the same
+//!   contract on Linux.
+//!
+//! Everything unsafe is confined to the two backend files: the rest of the
+//! crate sees only [`Poller`] (register / reregister / deregister / wait
+//! with a token per fd), [`Event`] (token + readable/writable bits, with
+//! error and hangup conditions folded into both so the read/write paths
+//! discover them as EOF or `EPIPE`), and [`Waker`] (a nonblocking
+//! `UnixStream` pair for cross-thread wakeups — no raw pipe syscalls
+//! needed). On non-Unix targets the module compiles to stubs that fail at
+//! `NetServer::bind` time with [`std::io::ErrorKind::Unsupported`]; the
+//! blocking [`crate::NetClient`] keeps working everywhere.
+
+#[cfg(target_os = "linux")]
+mod epoll;
+#[cfg(unix)]
+mod poll;
+
+/// Which readiness backend a [`crate::NetServer`]'s reactors use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerBackend {
+    /// epoll on Linux, poll elsewhere — the right choice outside tests.
+    #[default]
+    Auto,
+    /// Force epoll; `NetServer::bind` fails off Linux.
+    Epoll,
+    /// Force the portable poll fallback (O(registered) per wait).
+    Poll,
+}
+
+/// Readiness interest for one registered socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the socket has bytes (or EOF / an error) to read.
+    pub readable: bool,
+    /// Wake when the socket can accept more outbound bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    pub(crate) const READ: Interest = Interest { readable: true, writable: false };
+}
+
+/// One readiness event out of [`Poller::wait`]. Error and hangup conditions
+/// set both bits so whichever path runs first observes the failure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The socket is readable (data, EOF, error or peer hangup).
+    pub readable: bool,
+    /// The socket is writable (or in an error state a write will surface).
+    pub writable: bool,
+}
+
+#[cfg(unix)]
+pub(crate) use unix_impl::{stream_fd, Poller, SysFd, WakeReceiver, Waker};
+
+#[cfg(not(unix))]
+pub(crate) use stub_impl::{stream_fd, Poller, SysFd, WakeReceiver, Waker};
+
+#[cfg(unix)]
+mod unix_impl {
+    use super::{Event, Interest, PollerBackend};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    /// The OS handle of a registered socket.
+    pub(crate) type SysFd = RawFd;
+
+    /// The fd behind a [`TcpStream`], for registration.
+    pub(crate) fn stream_fd(stream: &TcpStream) -> SysFd {
+        stream.as_raw_fd()
+    }
+
+    /// A readiness multiplexer: epoll on Linux, poll as the portable
+    /// fallback (see the module docs for the contract and the split).
+    pub(crate) enum Poller {
+        #[cfg(target_os = "linux")]
+        Epoll(super::epoll::EpollPoller),
+        Poll(super::poll::PollPoller),
+    }
+
+    impl Poller {
+        pub(crate) fn new(backend: PollerBackend) -> std::io::Result<Poller> {
+            match backend {
+                #[cfg(target_os = "linux")]
+                PollerBackend::Auto | PollerBackend::Epoll => {
+                    Ok(Poller::Epoll(super::epoll::EpollPoller::new()?))
+                }
+                #[cfg(not(target_os = "linux"))]
+                PollerBackend::Epoll => Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "epoll is Linux-only; use PollerBackend::Auto or Poll",
+                )),
+                _ => Ok(Poller::Poll(super::poll::PollPoller::new())),
+            }
+        }
+
+        pub(crate) fn register(
+            &mut self,
+            fd: SysFd,
+            token: u64,
+            interest: Interest,
+        ) -> std::io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Poller::Epoll(p) => p.register(fd, token, interest),
+                Poller::Poll(p) => p.register(fd, token, interest),
+            }
+        }
+
+        pub(crate) fn reregister(
+            &mut self,
+            fd: SysFd,
+            token: u64,
+            interest: Interest,
+        ) -> std::io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Poller::Epoll(p) => p.reregister(fd, token, interest),
+                Poller::Poll(p) => p.reregister(fd, token, interest),
+            }
+        }
+
+        pub(crate) fn deregister(&mut self, fd: SysFd) {
+            match self {
+                #[cfg(target_os = "linux")]
+                Poller::Epoll(p) => p.deregister(fd),
+                Poller::Poll(p) => p.deregister(fd),
+            }
+        }
+
+        /// Blocks until readiness or `timeout`, appending into `events`
+        /// (cleared first). A signal (`EINTR`) returns an empty set.
+        pub(crate) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> std::io::Result<()> {
+            events.clear();
+            match self {
+                #[cfg(target_os = "linux")]
+                Poller::Epoll(p) => p.wait(events, timeout),
+                Poller::Poll(p) => p.wait(events, timeout),
+            }
+        }
+    }
+
+    /// Converts an optional timeout to the millisecond argument both
+    /// backends take: `-1` blocks, sub-millisecond waits round *up* so a
+    /// 200 µs retry tick cannot spin at 0 ms.
+    pub(super) fn timeout_ms(timeout: Option<Duration>) -> i32 {
+        match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as i32;
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms
+                }
+            }
+        }
+    }
+
+    /// The sending half of a cross-thread wakeup channel: writing one byte
+    /// makes the owning reactor's [`Poller::wait`] return. Nonblocking, so
+    /// a full pipe (wakeup already pending) is success, not a stall.
+    pub(crate) struct Waker {
+        tx: UnixStream,
+    }
+
+    impl Waker {
+        pub(crate) fn wake(&self) {
+            // A byte already in flight wakes the reactor just as well, so
+            // WouldBlock (and any teardown race) is deliberately ignored.
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+
+    /// The receiving half, registered with the reactor's poller under the
+    /// waker token.
+    pub(crate) struct WakeReceiver {
+        rx: UnixStream,
+    }
+
+    impl WakeReceiver {
+        pub(crate) fn fd(&self) -> SysFd {
+            self.rx.as_raw_fd()
+        }
+
+        /// Swallows every pending wakeup byte (level-triggered pollers
+        /// would otherwise report the waker readable forever).
+        pub(crate) fn drain(&self) {
+            let mut sink = [0u8; 64];
+            while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    /// A connected nonblocking wakeup pair.
+    pub(crate) fn waker_pair() -> std::io::Result<(Waker, WakeReceiver)> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx }, WakeReceiver { rx }))
+    }
+}
+
+#[cfg(unix)]
+pub(crate) use unix_impl::waker_pair;
+
+#[cfg(not(unix))]
+pub(crate) use stub_impl::waker_pair;
+
+#[cfg(not(unix))]
+mod stub_impl {
+    use super::{Event, Interest, PollerBackend};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    pub(crate) type SysFd = i32;
+
+    pub(crate) fn stream_fd(_stream: &TcpStream) -> SysFd {
+        -1
+    }
+
+    fn unsupported() -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "the mbdr-net reactor requires a Unix readiness backend (epoll or poll)",
+        )
+    }
+
+    /// Readiness is unsupported off Unix: construction fails, so
+    /// `NetServer::bind` reports `Unsupported` instead of limping.
+    pub(crate) struct Poller;
+
+    impl Poller {
+        pub(crate) fn new(_backend: PollerBackend) -> std::io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn register(
+            &mut self,
+            _fd: SysFd,
+            _token: u64,
+            _interest: Interest,
+        ) -> std::io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn reregister(
+            &mut self,
+            _fd: SysFd,
+            _token: u64,
+            _interest: Interest,
+        ) -> std::io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn deregister(&mut self, _fd: SysFd) {}
+
+        pub(crate) fn wait(
+            &mut self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> std::io::Result<()> {
+            Err(unsupported())
+        }
+    }
+
+    pub(crate) struct Waker;
+
+    impl Waker {
+        pub(crate) fn wake(&self) {}
+    }
+
+    pub(crate) struct WakeReceiver;
+
+    impl WakeReceiver {
+        pub(crate) fn fd(&self) -> SysFd {
+            -1
+        }
+
+        pub(crate) fn drain(&self) {}
+    }
+
+    pub(crate) fn waker_pair() -> std::io::Result<(Waker, WakeReceiver)> {
+        Err(unsupported())
+    }
+}

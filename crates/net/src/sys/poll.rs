@@ -1,0 +1,141 @@
+//! The portable POSIX `poll(2)` backend: the fd set lives in user space and
+//! is handed to the kernel whole on every wait, so the cost is O(registered)
+//! per call — correct everywhere, cheap only for small sets. Doubles as the
+//! second implementation of the `Poller` contract for tests on Linux.
+
+use super::unix_impl::timeout_ms;
+use super::{Event, Interest};
+use std::ffi::{c_int, c_short};
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+const POLLNVAL: c_short = 0x020;
+
+/// `struct pollfd`, identical across the Unixes.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+// POSIX leaves nfds_t to the platform: unsigned long on Linux/glibc,
+// unsigned int on the BSDs and macOS.
+#[cfg(target_os = "linux")]
+type NFds = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NFds = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+}
+
+struct Registration {
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+}
+
+/// The user-space fd registry plus a reusable `pollfd` scratch array.
+pub(crate) struct PollPoller {
+    regs: Vec<Registration>,
+    scratch: Vec<PollFd>,
+}
+
+impl PollPoller {
+    pub(crate) fn new() -> PollPoller {
+        PollPoller { regs: Vec::new(), scratch: Vec::new() }
+    }
+
+    fn position(&self, fd: RawFd) -> Option<usize> {
+        self.regs.iter().position(|r| r.fd == fd)
+    }
+
+    pub(crate) fn register(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+    ) -> std::io::Result<()> {
+        if self.position(fd).is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.regs.push(Registration { fd, token, interest });
+        Ok(())
+    }
+
+    pub(crate) fn reregister(
+        &mut self,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+    ) -> std::io::Result<()> {
+        match self.position(fd) {
+            Some(i) => {
+                self.regs[i].token = token;
+                self.regs[i].interest = interest;
+                Ok(())
+            }
+            None => Err(std::io::Error::new(std::io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn deregister(&mut self, fd: RawFd) {
+        if let Some(i) = self.position(fd) {
+            self.regs.swap_remove(i);
+        }
+    }
+
+    pub(crate) fn wait(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.scratch.clear();
+        for reg in &self.regs {
+            let mut bits: c_short = 0;
+            if reg.interest.readable {
+                bits |= POLLIN;
+            }
+            if reg.interest.writable {
+                bits |= POLLOUT;
+            }
+            self.scratch.push(PollFd { fd: reg.fd, events: bits, revents: 0 });
+        }
+        // SAFETY: the scratch pointer/len pair is valid for the whole call;
+        // the kernel only fills `revents` in place.
+        #[allow(unsafe_code)]
+        let rc = unsafe {
+            poll(self.scratch.as_mut_ptr(), self.scratch.len() as NFds, timeout_ms(timeout))
+        };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            return if err.kind() == std::io::ErrorKind::Interrupted {
+                Ok(()) // a signal: report no events, the reactor re-waits
+            } else {
+                Err(err)
+            };
+        }
+        for (slot, reg) in self.scratch.iter().zip(&self.regs) {
+            let bits = slot.revents;
+            if bits == 0 {
+                continue;
+            }
+            let failed = bits & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            events.push(Event {
+                token: reg.token,
+                readable: failed || bits & POLLIN != 0,
+                writable: failed || bits & POLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}

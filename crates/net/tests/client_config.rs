@@ -1,0 +1,116 @@
+//! `ClientConfig` regression tests: a server that accepts the connection
+//! and then never responds must cost a configured timeout, not a hang; and
+//! `reconnect_with_fresh_sequence` must hand back the next safe sequence
+//! number so a resuming producer cannot replay into the dedup window.
+
+use mbdr_core::{Frame, ObjectState, Update, UpdateKind};
+use mbdr_geo::Point;
+use mbdr_locserver::{LocationService, ObjectId};
+use mbdr_net::{ClientConfig, NetClient, NetServer, ServerConfig};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn update(seq: u64, t: f64, x: f64, y: f64) -> Update {
+    Update {
+        sequence: seq,
+        state: ObjectState::basic(Point::new(x, y), 0.0, 0.0, t),
+        kind: UpdateKind::DeviationBound,
+    }
+}
+
+#[test]
+fn a_read_timeout_turns_a_mute_server_into_an_error_not_a_hang() {
+    // A listener that accepts and then never says a word: without a read
+    // timeout, `flush` would block forever on the response.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind mute listener");
+    let addr = listener.local_addr().expect("listener addr");
+    let mute = std::thread::spawn(move || {
+        // Hold the accepted socket so the client's write succeeds and its
+        // read genuinely waits on a peer that will never answer.
+        let (stream, _) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_secs(10));
+        drop(stream);
+    });
+
+    let mut client = NetClient::connect_with(
+        addr,
+        ClientConfig { read_timeout: Some(Duration::from_millis(200)), ..ClientConfig::default() },
+    )
+    .expect("connect to the mute server");
+    let asked = Instant::now();
+    let result = client.flush();
+    let waited = asked.elapsed();
+    assert!(result.is_err(), "a mute server must surface as an error");
+    assert!(
+        waited < Duration::from_secs(5),
+        "flush returned after {waited:?} — the read timeout did not bound the wait"
+    );
+    drop(client);
+    drop(mute); // the sleeper finishes on its own; no need to join 10 s
+}
+
+#[test]
+fn connect_with_honors_an_explicit_connect_timeout_against_a_live_server() {
+    // The timeout path must still connect to a healthy server (the
+    // unreachable-peer case would need routing tricks a unit test cannot
+    // portably set up, so this pins the success side of `connect_timeout`).
+    let service = Arc::new(LocationService::new());
+    service.register(ObjectId(0), Arc::new(mbdr_core::StaticPredictor));
+    let server = NetServer::bind(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_secs(5)),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("timed connect to a live server succeeds");
+    assert_eq!(client.flush().expect("flush").frames, 0);
+}
+
+#[test]
+fn reconnecting_resumes_with_a_fresh_sequence_past_everything_sent() {
+    let service = Arc::new(LocationService::new());
+    service.register(ObjectId(7), Arc::new(mbdr_core::StaticPredictor));
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    for seq in 0..5u64 {
+        client.send_frame(&Frame::single(7, update(seq, seq as f64, 1.0, 2.0))).expect("send");
+    }
+    assert_eq!(client.flush().expect("flush").updates_applied, 5);
+
+    // The helper dials a fresh socket to the same peer and reports the next
+    // sequence a resuming producer may safely use: one past the maximum it
+    // ever put on the wire (sequences 0..=4 were sent, so 5).
+    let next = client.reconnect_with_fresh_sequence().expect("reconnect");
+    assert_eq!(next, 5, "one past the maximum sequence sent before the reconnect");
+
+    // A replayed pre-reconnect straggler (old sequence, old timestamp) is
+    // delivered but deduplicated by the tracker; the fresh sequence lands
+    // and moves the store.
+    client.send_frame(&Frame::single(7, update(0, 0.0, 3.0, 4.0))).expect("straggler send");
+    client.send_frame(&Frame::single(7, update(next, 10.0, 5.0, 6.0))).expect("fresh send");
+    let flush = client.flush().expect("flush after reconnect");
+    assert_eq!(flush.frames, 2);
+    assert_eq!(
+        service.total_updates(),
+        6,
+        "5 originals + the fresh update; the straggler was rejected as stale"
+    );
+
+    // Reconnecting again advances past the newest send.
+    let next = client.reconnect_with_fresh_sequence().expect("second reconnect");
+    assert_eq!(next, 6);
+    // A round trip on the fresh socket, so the server has provably admitted
+    // it before the stats are read.
+    assert_eq!(client.flush().expect("flush on the fresh socket").frames, 0);
+
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.connections_accepted, 3, "original + two reconnects");
+    assert_eq!(stats.connections_dropped, 0, "reconnects close the old socket cleanly");
+}

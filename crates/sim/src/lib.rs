@@ -35,12 +35,17 @@
 //!   `mbdr_net`'s serving layer: producer connections stream encoded frames,
 //!   query connections issue the binary query protocol, and the report adds
 //!   p50/p99 query round-trip latency (`reproduce net` emits its baseline).
+//! * [`connscale`] — the connection-count axis: thousands of mostly-idle
+//!   TCP connections held on the server's fixed reactor pool while a small
+//!   hot subset streams and queries (`reproduce connscale` emits its
+//!   baseline).
 //! * [`report`] — plain-text table/CSV rendering of the results.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod channel;
+pub mod connscale;
 pub mod degraded;
 pub mod fleet;
 pub mod lossy;
@@ -54,6 +59,7 @@ pub mod service_workload;
 pub mod sweep;
 
 pub use channel::{MessageChannel, WirePayload};
+pub use connscale::{run_connscale_workload, ConnScaleConfig, ConnScaleReport};
 pub use degraded::{DegradedChannel, LinkConfig, LinkStats};
 pub use fleet::{FleetConfig, FleetResult};
 pub use lossy::{run_loss_sweep, LossPoint, LossSweepConfig, LossSweepResult};

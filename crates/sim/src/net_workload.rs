@@ -153,7 +153,9 @@ impl NetWorkloadReport {
              \"connections_closed\":{},\"connections_dropped\":{},\"frames_received\":{},\
              \"updates_applied\":{},\"frame_decode_errors\":{},\"request_decode_errors\":{},\
              \"oversized_messages\":{},\"queries_answered\":{},\"zone_events_emitted\":{},\
-             \"bytes_received\":{},\"bytes_sent\":{}}}}}",
+             \"bytes_received\":{},\"bytes_sent\":{},\"evicted_slow\":{},\
+             \"backpressure_stalls\":{},\"readiness_wakeups\":{},\"spurious_wakeups\":{},\
+             \"register_failures\":{}}}}}",
             self.objects,
             self.producer_connections,
             self.query_connections,
@@ -188,6 +190,11 @@ impl NetWorkloadReport {
             s.zone_events_emitted,
             s.bytes_received,
             s.bytes_sent,
+            s.evicted_slow,
+            s.backpressure_stalls,
+            s.readiness_wakeups,
+            s.spurious_wakeups,
+            s.register_failures,
         )
     }
 }
@@ -204,6 +211,17 @@ struct QueryTally {
     latencies_ms: Vec<f64>,
     bytes_sent: u64,
     wall_s: f64,
+}
+
+/// Bounded wait for the server to observe every client's clean close. The
+/// reactor processes peer FINs asynchronously, so a snapshot taken right
+/// after the last client dropped could miss closes still in flight — and
+/// the baselines gate `connections_closed` strictly.
+pub(crate) fn await_clean_closes(server: &mbdr_net::NetServer, expected: u64) {
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    while server.stats().connections_closed < expected && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
 }
 
 /// The `q`-th sorted sample (nearest-rank on the closed interval).
@@ -363,6 +381,7 @@ pub fn run_net_workload(config: &NetWorkloadConfig) -> NetWorkloadReport {
     let client_bytes_sent = ingest_results.iter().map(|r| r.2).sum::<u64>()
         + query_results.iter().map(|t| t.bytes_sent).sum::<u64>();
 
+    await_clean_closes(&server, (config.producer_connections + config.query_connections) as u64);
     let server_stats = server.shutdown();
     NetWorkloadReport {
         objects: config.objects,
