@@ -1,0 +1,481 @@
+//! A hand-rolled Rust lexer: the token stream the lints walk.
+//!
+//! Deliberately *not* a parser — the lints only need tokens with line
+//! numbers, comments kept on the side, and a few span helpers (brace
+//! matching, function bodies, `#[cfg(test)]` item spans). What it must get
+//! exactly right is what trips naive scanners:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, arbitrary `#` depth) — an `unwrap` inside a string
+//!   is data, not a call;
+//! * the lifetime-vs-char-literal ambiguity (`'a` vs `'a'` vs `'\n'`);
+//! * tuple-field access: `a.0.partial_cmp` must lex as `a` `.` `0` `.`
+//!   `partial_cmp`, never eating `0.` as a float.
+//!
+//! The lexer never fails: unexpected bytes become single-character punctuation
+//! tokens, which at worst makes a lint conservative on a file that would not
+//! compile anyway.
+
+/// What a token is; exactly as much classification as the lints consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `unwrap`, …).
+    Ident,
+    /// Integer literal, suffix included (`0`, `10`, `0x84`, `4usize`).
+    Int,
+    /// Float literal (`1.5`, `1e-6`, `2.0f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a` in `&'a str`).
+    Lifetime,
+    /// One punctuation character (`{`, `[`, `.`, `=`, …). Multi-character
+    /// operators arrive as consecutive tokens: `::` is `:` `:`.
+    Punct(u8),
+}
+
+/// One token with its byte span and 1-based line number.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// The comment text, markers included.
+    pub text: String,
+}
+
+/// A lexed source file: the text, its tokens and its comments.
+#[derive(Debug)]
+pub struct LexedFile {
+    pub text: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// Lexes `text` (infallible; see the module docs).
+    pub fn lex(text: String) -> LexedFile {
+        let mut lexer = Lexer { bytes: text.as_bytes(), at: 0, line: 1 };
+        let mut tokens = Vec::new();
+        let mut comments = Vec::new();
+        lexer.run(&mut tokens, &mut comments);
+        let comments = comments
+            .into_iter()
+            .map(|(line, end_line, start, end)| Comment {
+                line,
+                end_line,
+                text: text.get(start..end).unwrap_or("").to_string(),
+            })
+            .collect();
+        LexedFile { text, tokens, comments }
+    }
+
+    /// The source text of one token.
+    pub fn token_text(&self, token: &Token) -> &str {
+        self.text.get(token.start..token.end).unwrap_or("")
+    }
+
+    /// True if the token at `index` is the identifier `word`.
+    pub fn is_ident(&self, index: usize, word: &str) -> bool {
+        self.tokens
+            .get(index)
+            .is_some_and(|t| t.kind == TokenKind::Ident && self.token_text(t) == word)
+    }
+
+    /// True if the token at `index` is the punctuation byte `p`.
+    pub fn is_punct(&self, index: usize, p: u8) -> bool {
+        self.tokens.get(index).is_some_and(|t| t.kind == TokenKind::Punct(p))
+    }
+
+    /// Index of the `}` matching the `{` at token index `open`, if any.
+    pub fn matching_brace(&self, open: usize) -> Option<usize> {
+        self.matching(open, b'{', b'}')
+    }
+
+    /// Index of the `]` matching the `[` at token index `open`, if any.
+    pub fn matching_bracket(&self, open: usize) -> Option<usize> {
+        self.matching(open, b'[', b']')
+    }
+
+    fn matching(&self, open: usize, open_byte: u8, close_byte: u8) -> Option<usize> {
+        if !self.is_punct(open, open_byte) {
+            return None;
+        }
+        let mut depth = 0usize;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            match t.kind {
+                TokenKind::Punct(b) if b == open_byte => depth += 1,
+                TokenKind::Punct(b) if b == close_byte => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// True if any comment overlapping lines `[from, to]` contains `needle`.
+    pub fn comment_in_lines_contains(&self, from: u32, to: u32, needle: &str) -> bool {
+        self.comments.iter().any(|c| c.end_line >= from && c.line <= to && c.text.contains(needle))
+    }
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    line: u32,
+}
+
+impl Lexer<'_> {
+    fn run(&mut self, tokens: &mut Vec<Token>, comments: &mut Vec<(u32, u32, usize, usize)>) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            let start = self.at;
+            let line = self.line;
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.at += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.at < self.bytes.len() && self.bytes[self.at] != b'\n' {
+                        self.at += 1;
+                    }
+                    comments.push((line, line, start, self.at));
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    comments.push((line, self.line, start, self.at));
+                }
+                b'"' => {
+                    self.string();
+                    tokens.push(self.token(TokenKind::Str, start, line));
+                }
+                b'r' | b'b' if self.raw_or_byte_string_starts() => {
+                    let kind = self.string_prefixed();
+                    tokens.push(self.token(kind, start, line));
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    tokens.push(self.token(kind, start, line));
+                }
+                b'0'..=b'9' => {
+                    let kind = self.number();
+                    tokens.push(self.token(kind, start, line));
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    self.ident();
+                    tokens.push(self.token(TokenKind::Ident, start, line));
+                }
+                other => {
+                    self.at += 1;
+                    tokens.push(self.token(TokenKind::Punct(other), start, line));
+                }
+            }
+        }
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32) -> Token {
+        Token { kind, start, end: self.at, line }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.at + ahead).copied()
+    }
+
+    fn block_comment(&mut self) {
+        // `/* … */`, nesting tracked (Rust block comments nest).
+        self.at += 2;
+        let mut depth = 1usize;
+        while depth > 0 && self.at < self.bytes.len() {
+            match (self.bytes[self.at], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.at += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.at += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                _ => self.at += 1,
+            }
+        }
+    }
+
+    /// Does the text at the cursor start a raw / byte string or byte char
+    /// (`r"`, `r#`, `br"`, `br#`, `b"`, `b'`)? Called on `r` / `b` only.
+    fn raw_or_byte_string_starts(&self) -> bool {
+        let next = self.peek(1);
+        match self.bytes[self.at] {
+            b'r' => matches!(next, Some(b'"') | Some(b'#')) && self.raw_hashes_then_quote(1),
+            b'b' => match next {
+                Some(b'"') | Some(b'\'') => true,
+                Some(b'r') => self.raw_hashes_then_quote(2),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// From offset `from` (past the `r`), skips `#`s and requires a `"` —
+    /// distinguishes `r#"…"#` from the raw identifier `r#try`.
+    fn raw_hashes_then_quote(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `br"…"`, `b"…"` or `b'…'` (cursor on `r`/`b`).
+    fn string_prefixed(&mut self) -> TokenKind {
+        if self.bytes[self.at] == b'b' && self.peek(1) == Some(b'\'') {
+            self.at += 1;
+            self.char_body();
+            return TokenKind::Char;
+        }
+        while matches!(self.bytes.get(self.at), Some(b'r') | Some(b'b')) {
+            self.at += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.at += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return TokenKind::Ident; // raw identifier (`r#try`); keep going
+        }
+        if hashes == 0 {
+            self.string();
+        } else {
+            // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+            self.at += 1;
+            while self.at < self.bytes.len() {
+                if self.bytes[self.at] == b'\n' {
+                    self.line += 1;
+                }
+                if self.bytes[self.at] == b'"' {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek(1 + n) == Some(b'#') {
+                        n += 1;
+                    }
+                    if n == hashes {
+                        self.at += 1 + hashes;
+                        return TokenKind::Str;
+                    }
+                }
+                self.at += 1;
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Lexes a `"…"` string with escapes (cursor on the opening quote).
+    fn string(&mut self) {
+        self.at += 1;
+        while self.at < self.bytes.len() {
+            match self.bytes[self.at] {
+                b'\\' => self.at += 2,
+                b'"' => {
+                    self.at += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.at += 1;
+                }
+                _ => self.at += 1,
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char) from `'a` / `'static` (lifetime);
+    /// cursor on the `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        let is_ident_start = matches!(next, Some(b'A'..=b'Z') | Some(b'a'..=b'z') | Some(b'_'));
+        if is_ident_start {
+            // `'x…`: a char literal iff a `'` closes right after one ident
+            // run (`'a'`), a lifetime otherwise (`'a`, `'static`).
+            let mut i = 2;
+            while matches!(
+                self.peek(i),
+                Some(b'A'..=b'Z') | Some(b'a'..=b'z') | Some(b'0'..=b'9') | Some(b'_')
+            ) {
+                i += 1;
+            }
+            if self.peek(i) == Some(b'\'') && i == 2 {
+                self.at += i + 1;
+                return TokenKind::Char;
+            }
+            self.at += i;
+            return TokenKind::Lifetime;
+        }
+        self.char_body();
+        TokenKind::Char
+    }
+
+    /// Consumes the remainder of a char literal (cursor on the `'`).
+    fn char_body(&mut self) {
+        self.at += 1;
+        while self.at < self.bytes.len() {
+            match self.bytes[self.at] {
+                b'\\' => self.at += 2,
+                b'\'' => {
+                    self.at += 1;
+                    return;
+                }
+                b'\n' => return, // unterminated; don't swallow the file
+                _ => self.at += 1,
+            }
+        }
+    }
+
+    /// Lexes a number. A `.` is consumed only when followed by a digit, so
+    /// tuple access (`pair.0.cmp(…)`) never lexes `0.` as a float.
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.bytes[self.at] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.at += 2;
+            while matches!(
+                self.peek(0),
+                Some(b'0'..=b'9') | Some(b'a'..=b'f') | Some(b'A'..=b'F') | Some(b'_')
+            ) {
+                self.at += 1;
+            }
+        } else {
+            while matches!(self.peek(0), Some(b'0'..=b'9') | Some(b'_')) {
+                self.at += 1;
+            }
+            if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+                float = true;
+                self.at += 1;
+                while matches!(self.peek(0), Some(b'0'..=b'9') | Some(b'_')) {
+                    self.at += 1;
+                }
+            }
+            if matches!(self.peek(0), Some(b'e') | Some(b'E'))
+                && matches!(self.peek(1), Some(b'0'..=b'9') | Some(b'+') | Some(b'-'))
+            {
+                float = true;
+                self.at += 2;
+                while matches!(self.peek(0), Some(b'0'..=b'9') | Some(b'_')) {
+                    self.at += 1;
+                }
+            }
+        }
+        // Type suffix (`u8`, `f64`, `usize`): part of the literal token.
+        while matches!(
+            self.peek(0),
+            Some(b'A'..=b'Z') | Some(b'a'..=b'z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            if matches!(self.peek(0), Some(b'f')) {
+                float = true;
+            }
+            self.at += 1;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn ident(&mut self) {
+        while matches!(
+            self.peek(0),
+            Some(b'A'..=b'Z') | Some(b'a'..=b'z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.at += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        let lexed = LexedFile::lex(text.to_string());
+        lexed.tokens.iter().map(|t| (t.kind, lexed.token_text(t).to_string())).collect()
+    }
+
+    #[test]
+    fn comments_are_kept_out_of_the_stream() {
+        let lexed = LexedFile::lex("a // SAFETY: fine\nb /* nested /* deep */ */ c".into());
+        let idents: Vec<_> = lexed.tokens.iter().map(|t| lexed.token_text(t).to_string()).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r##"x("unwrap", r#"panic!() " quote"#, b"unsafe")"##);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'y' }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'y'"));
+        let esc = kinds(r"let c = '\n'; let s = 'static_marker;");
+        assert!(esc.iter().any(|(k, t)| *k == TokenKind::Char && t == r"'\n'"));
+        assert!(esc.iter().any(|(k, _)| *k == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn tuple_access_is_not_a_float() {
+        let toks = kinds("a.0.partial_cmp(&b.0)");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Int && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "partial_cmp"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+        let floats = kinds("1.5 + 2e-3 + 7f64");
+        assert_eq!(floats.iter().filter(|(k, _)| *k == TokenKind::Float).count(), 3);
+    }
+
+    #[test]
+    fn brace_and_bracket_matching() {
+        let lexed = LexedFile::lex("fn f() { a[1]; { b } }".into());
+        let open = lexed.tokens.iter().position(|t| t.kind == TokenKind::Punct(b'{')).unwrap();
+        let close = lexed.matching_brace(open).unwrap();
+        assert_eq!(close, lexed.tokens.len() - 1);
+        let bracket = lexed.tokens.iter().position(|t| t.kind == TokenKind::Punct(b'[')).unwrap();
+        assert!(lexed.matching_bracket(bracket).is_some());
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_strings() {
+        let lexed = LexedFile::lex("let s = \"one\ntwo\";\nlet t = 1;".into());
+        let t1 = lexed.tokens.iter().find(|t| lexed.token_text(t) == "t").unwrap();
+        assert_eq!(t1.line, 3);
+    }
+}

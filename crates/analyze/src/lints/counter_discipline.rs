@@ -1,0 +1,145 @@
+//! counter-discipline: every field of the configured stats structs
+//! (`ServerStats`, `LinkStats`, `IndexStats`) must be **updated** somewhere
+//! on its production path *and* **surfaced** through its snapshot function
+//! or JSON document. A counter that is bumped but never reported is dead
+//! weight; one that is reported but never bumped silently reads zero — both
+//! are exactly the regressions that slip through when a PR adds a field and
+//! forgets half of the contract.
+
+use crate::lexer::{LexedFile, TokenKind};
+use crate::model::{fn_spans, inside, struct_fields, test_spans};
+use crate::{AnalyzeConfig, CounterSpec, Diagnostic};
+use std::collections::BTreeMap;
+
+pub const ID: &str = "counter-discipline";
+
+/// Callee names that mutate a counter handed to them by reference.
+const UPDATE_CALLEES: [&str; 5] = ["bump", "add", "fetch_add", "fetch_sub", "store"];
+
+/// How many tokens before `&x.field` the mutating callee may sit
+/// (`bump ( & self . stats . field` is the longest committed idiom).
+const CALLEE_LOOKBACK: usize = 8;
+
+pub fn check(
+    files: &BTreeMap<String, LexedFile>,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for spec in &config.counters {
+        check_spec(files, spec, out);
+    }
+}
+
+fn check_spec(files: &BTreeMap<String, LexedFile>, spec: &CounterSpec, out: &mut Vec<Diagnostic>) {
+    let Some(decl) = files.get(&spec.decl_file) else {
+        out.push(Diagnostic {
+            file: spec.decl_file.clone(),
+            line: 1,
+            lint: ID,
+            message: format!("counter spec points at a missing file for `{}`", spec.struct_name),
+        });
+        return;
+    };
+    let Some(fields) = struct_fields(decl, &spec.struct_name) else {
+        out.push(Diagnostic {
+            file: spec.decl_file.clone(),
+            line: 1,
+            lint: ID,
+            message: format!("struct `{}` not found", spec.struct_name),
+        });
+        return;
+    };
+    for (field, decl_line) in fields {
+        let updated = spec
+            .update_files
+            .iter()
+            .filter_map(|f| files.get(f))
+            .any(|file| has_update_evidence(file, &field));
+        if !updated {
+            out.push(Diagnostic {
+                file: spec.decl_file.clone(),
+                line: decl_line,
+                lint: ID,
+                message: format!(
+                    "counter `{}.{}` is never updated in {}",
+                    spec.struct_name,
+                    field,
+                    spec.update_files.join(", ")
+                ),
+            });
+        }
+        let surfaced = files
+            .get(&spec.surface_file)
+            .map(|file| has_surface_evidence(file, &field, spec.surface_fn.as_deref()))
+            .unwrap_or(false);
+        if !surfaced {
+            let via = match &spec.surface_fn {
+                Some(f) => format!("fn `{f}` in {}", spec.surface_file),
+                None => format!("the JSON keys of {}", spec.surface_file),
+            };
+            out.push(Diagnostic {
+                file: spec.decl_file.clone(),
+                line: decl_line,
+                lint: ID,
+                message: format!(
+                    "counter `{}.{}` is never surfaced through {via}",
+                    spec.struct_name, field
+                ),
+            });
+        }
+    }
+}
+
+/// Update evidence for `field` in one file's non-test code: `.field += …`,
+/// `.field = …` (not `==`), or `.field` as an argument within reach of a
+/// mutating callee (`bump(&stats.field)`, `field.fetch_add(…)`).
+fn has_update_evidence(file: &LexedFile, field: &str) -> bool {
+    let tests = test_spans(file);
+    for i in 0..file.tokens.len() {
+        if inside(&tests, i) || !file.is_ident(i, field) {
+            continue;
+        }
+        if i == 0 || !file.is_punct(i - 1, b'.') {
+            continue;
+        }
+        if file.is_punct(i + 1, b'+') && file.is_punct(i + 2, b'=') {
+            return true;
+        }
+        if file.is_punct(i + 1, b'=') && !file.is_punct(i + 2, b'=') {
+            return true;
+        }
+        // `field.fetch_add(…)` — the callee follows the field.
+        if file.is_punct(i + 1, b'.')
+            && file.tokens.get(i + 2).map(|t| t.kind) == Some(TokenKind::Ident)
+            && UPDATE_CALLEES.contains(&file.token_text(&file.tokens[i + 2]))
+        {
+            return true;
+        }
+        // `bump(&self.stats.field)` — the callee precedes the reference.
+        let from = i.saturating_sub(CALLEE_LOOKBACK);
+        if (from..i).any(|j| {
+            file.tokens[j].kind == TokenKind::Ident
+                && UPDATE_CALLEES.contains(&file.token_text(&file.tokens[j]))
+        }) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Surface evidence: the field appears inside the named snapshot function,
+/// or (JSON mode) inside any string literal of the surface file.
+fn has_surface_evidence(file: &LexedFile, field: &str, surface_fn: Option<&str>) -> bool {
+    match surface_fn {
+        Some(fn_name) => {
+            let spans = fn_spans(file);
+            spans.iter().filter(|s| s.name == fn_name).any(|s| {
+                (s.body.0..s.body.1.min(file.tokens.len())).any(|i| file.is_ident(i, field))
+            })
+        }
+        None => file
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && file.token_text(t).contains(field)),
+    }
+}

@@ -1,0 +1,61 @@
+//! The escape-hatch meta-lint: a suppression comment must name a known lint
+//! and carry a reason, otherwise it is itself a diagnostic — the policy that
+//! keeps blanket allows out of the tree.
+
+use crate::lexer::LexedFile;
+use crate::model::allow_directives;
+use crate::{Diagnostic, LINT_IDS};
+use std::collections::BTreeMap;
+
+pub const ID: &str = "escape-hatch";
+
+/// Emits diagnostics for malformed or reason-less escape hatches.
+pub fn check(rel: &str, file: &LexedFile, out: &mut Vec<Diagnostic>) {
+    let (directives, malformed) = allow_directives(file);
+    for (line, message) in malformed {
+        out.push(Diagnostic { file: rel.to_string(), line, lint: ID, message });
+    }
+    for d in directives {
+        if !LINT_IDS.contains(&d.lint.as_str()) {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: d.line,
+                lint: ID,
+                message: format!(
+                    "escape hatch names unknown lint `{}` (known: {})",
+                    d.lint,
+                    LINT_IDS.join(", ")
+                ),
+            });
+        } else if !d.has_reason {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: d.line,
+                lint: ID,
+                message: format!(
+                    "escape hatch for `{}` is missing its reason (append `reason=<why>`)",
+                    d.lint
+                ),
+            });
+        }
+    }
+}
+
+/// Every effective suppression in the tree, as `(file, directive line,
+/// lint id)`: well-formed hatches with a reason, for a known lint. A
+/// suppression covers its own line and the next one.
+pub fn suppressions(files: &BTreeMap<String, LexedFile>) -> Vec<(String, u32, &'static str)> {
+    let mut all = Vec::new();
+    for (rel, file) in files {
+        let (directives, _) = allow_directives(file);
+        for d in directives {
+            if !d.has_reason {
+                continue;
+            }
+            if let Some(id) = LINT_IDS.iter().find(|id| **id == d.lint) {
+                all.push((rel.clone(), d.line, *id));
+            }
+        }
+    }
+    all
+}

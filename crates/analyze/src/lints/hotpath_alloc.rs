@@ -1,0 +1,107 @@
+//! hotpath-alloc: the functions named in the committed hotpath manifest —
+//! the same `*_into` / apply / predict set `BENCH_hotpath.json` pins at
+//! exactly zero allocations per operation — must not contain allocating
+//! calls. This is the static complement of the counting-allocator gate:
+//! the gate proves the steady state allocates nothing, this lint points at
+//! the offending call the moment it is written.
+//!
+//! What counts as allocating here: owned-buffer constructors
+//! (`Vec::new`, `Vec::with_capacity`, `vec![…]`, `Box::new`, …), owning
+//! conversions (`.to_string()`, `.to_owned()`, `.to_vec()`, `.collect()`,
+//! `format!`) and `.clone()`. `push` / `extend_from_slice` into
+//! caller-owned scratch is the designed idiom (amortised to zero once warm)
+//! and is deliberately not flagged — creating the owned buffer is what the
+//! lint forbids; filling a warm one is what the dynamic gate measures.
+
+use crate::lexer::{LexedFile, TokenKind};
+use crate::{AnalyzeConfig, Diagnostic};
+use std::collections::BTreeMap;
+
+pub const ID: &str = "hotpath-alloc";
+
+/// Container types whose associated constructors allocate.
+const ALLOC_TYPES: [&str; 10] =
+    ["Vec", "VecDeque", "String", "Box", "Rc", "Arc", "HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Associated functions on [`ALLOC_TYPES`] that produce an owned buffer.
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// Method calls that allocate an owned value.
+const ALLOC_METHODS: [&str; 5] = ["clone", "collect", "to_string", "to_owned", "to_vec"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+pub fn check(
+    files: &BTreeMap<String, LexedFile>,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (path, func) in &config.hotpath_manifest {
+        let Some(file) = files.get(path) else {
+            out.push(Diagnostic {
+                file: path.clone(),
+                line: 1,
+                lint: ID,
+                message: format!("hotpath manifest names `{func}` in a file the tree lacks"),
+            });
+            continue;
+        };
+        let spans = crate::model::fn_spans(file);
+        let mut found = false;
+        for span in spans.iter().filter(|s| &s.name == func) {
+            found = true;
+            scan_body(path, file, func, span.body, out);
+        }
+        if !found {
+            out.push(Diagnostic {
+                file: path.clone(),
+                line: 1,
+                lint: ID,
+                message: format!(
+                    "hotpath manifest names fn `{func}` but the file does not define it \
+                     (stale manifest after a rename?)"
+                ),
+            });
+        }
+    }
+}
+
+fn scan_body(
+    rel: &str,
+    file: &LexedFile,
+    func: &str,
+    body: (usize, usize),
+    out: &mut Vec<Diagnostic>,
+) {
+    for i in body.0..body.1.min(file.tokens.len()) {
+        let token = &file.tokens[i];
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let word = file.token_text(token);
+        let flag = |out: &mut Vec<Diagnostic>, what: String| {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: token.line,
+                lint: ID,
+                message: format!(
+                    "{what} allocates inside `{func}`, which the hotpath manifest pins \
+                     allocation-free"
+                ),
+            });
+        };
+        if ALLOC_TYPES.contains(&word) && file.is_punct(i + 1, b':') && file.is_punct(i + 2, b':') {
+            if let Some(ctor) = file.tokens.get(i + 3) {
+                let ctor_name = file.token_text(ctor);
+                if ctor.kind == TokenKind::Ident && ALLOC_CTORS.contains(&ctor_name) {
+                    flag(out, format!("`{word}::{ctor_name}`"));
+                }
+            }
+        } else if i > 0 && file.is_punct(i - 1, b'.') && ALLOC_METHODS.contains(&word) {
+            flag(out, format!("`.{word}()`"));
+        } else if ALLOC_MACROS.contains(&word) && file.is_punct(i + 1, b'!') {
+            flag(out, format!("`{word}!`"));
+        }
+    }
+}

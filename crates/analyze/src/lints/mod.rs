@@ -1,0 +1,10 @@
+//! The lint catalog. Each module owns one lint id and a `check` pass; the
+//! driver in [`crate::analyze_sources`] runs them all and applies the
+//! escape-hatch suppressions afterwards.
+
+pub mod counter_discipline;
+pub mod escape_hatch;
+pub mod hotpath_alloc;
+pub mod panic_freedom;
+pub mod unsafe_confinement;
+pub mod wire_kinds;

@@ -1,0 +1,83 @@
+//! panic-freedom: the protected files (wire codec, serving layer, location
+//! store ingest/query paths) must not contain panic-capable constructs in
+//! non-test code: `.unwrap()` / `.expect(…)`, the `panic!` / `unreachable!`
+//! / `todo!` / `unimplemented!` macros, or slice indexing by literal
+//! (`bytes[0]`, `bytes[8..10]`) — hostile input must surface as typed
+//! errors, never as a panic that takes the serving thread down. Escape
+//! hatch: a reasoned `lint: allow(panic-freedom)` comment on the line above.
+
+use crate::lexer::{LexedFile, TokenKind};
+use crate::model::{inside, test_spans};
+use crate::{AnalyzeConfig, Diagnostic};
+
+pub const ID: &str = "panic-freedom";
+
+/// Macro names that are panic paths by definition.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(rel: &str, file: &LexedFile, config: &AnalyzeConfig, out: &mut Vec<Diagnostic>) {
+    if !config.panic_free.iter().any(|p| rel.starts_with(p.as_str())) {
+        return;
+    }
+    let tests = test_spans(file);
+    for (i, token) in file.tokens.iter().enumerate() {
+        if inside(&tests, i) {
+            continue;
+        }
+        let push = |out: &mut Vec<Diagnostic>, message: String| {
+            out.push(Diagnostic { file: rel.to_string(), line: token.line, lint: ID, message });
+        };
+        match token.kind {
+            TokenKind::Ident => {
+                let word = file.token_text(token);
+                let after_dot = i > 0 && file.is_punct(i - 1, b'.');
+                if after_dot && (word == "unwrap" || word == "expect") {
+                    push(out, format!("`.{word}(…)` can panic; return a typed error instead"));
+                } else if PANIC_MACROS.contains(&word) && file.is_punct(i + 1, b'!') {
+                    push(out, format!("`{word}!` is a panic path in protected code"));
+                }
+            }
+            TokenKind::Punct(b'[') if literal_index(file, i) => {
+                push(
+                    out,
+                    "slice indexing by literal can panic on short input; use `.get(…)`".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is the `[` at token index `i` an index expression whose content is made
+/// of integer literals and `..` only (`x[0]`, `x[..2]`, `x[8..10]`)?
+/// Index position is recognised by the preceding token: an identifier, `)`
+/// or `]` — which excludes array literals, attributes and type syntax.
+fn literal_index(file: &LexedFile, i: usize) -> bool {
+    let indexes_value = i > 0
+        && match file.tokens[i - 1].kind {
+            TokenKind::Ident => {
+                // `x[0]` indexes; `#[allow]`'s `allow[…]` form cannot occur,
+                // but keyword-led blocks (`return [0]`, `in [1]`) do not
+                // index the keyword's value.
+                !matches!(
+                    file.token_text(&file.tokens[i - 1]),
+                    "return" | "in" | "break" | "else" | "match" | "if" | "while" | "loop"
+                )
+            }
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
+            _ => false,
+        };
+    if !indexes_value {
+        return false;
+    }
+    let Some(close) = file.matching_bracket(i) else { return false };
+    let mut saw_literal = false;
+    for j in i + 1..close {
+        match file.tokens[j].kind {
+            TokenKind::Int => saw_literal = true,
+            TokenKind::Punct(b'.') => {}
+            _ => return false,
+        }
+    }
+    saw_literal
+}

@@ -1,0 +1,89 @@
+//! wire-kind-exhaustiveness: every wire-kind byte constant in the codec
+//! (`const REQ_* / RESP_* / KIND_* / FLAG_*: u8`) must be referenced from
+//! both an encode-path function and a decode-path function. A kind that is
+//! encoded but never decoded is a frame the server drops as
+//! `InvalidKind`; one that is decoded but never encoded is dead protocol
+//! surface — either way the codec's two halves have drifted.
+
+use crate::lexer::LexedFile;
+use crate::lexer::TokenKind;
+use crate::model::{enclosing_fn, fn_spans, inside, test_spans};
+use crate::{AnalyzeConfig, Diagnostic};
+use std::collections::BTreeMap;
+
+pub const ID: &str = "wire-kind-exhaustiveness";
+
+pub fn check(
+    files: &BTreeMap<String, LexedFile>,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (rel, file) in files {
+        if !config.wire_files.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        check_file(rel, file, config, out);
+    }
+}
+
+fn check_file(rel: &str, file: &LexedFile, config: &AnalyzeConfig, out: &mut Vec<Diagnostic>) {
+    let tests = test_spans(file);
+    let fns = fn_spans(file);
+    // `const <NAME>: u8 = …` declarations whose name carries a kind prefix.
+    let mut consts: Vec<(usize, String, u32)> = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.is_ident(i, "const")
+            && file.tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Ident)
+            && file.is_punct(i + 2, b':')
+            && file.is_ident(i + 3, "u8")
+        {
+            let name = file.token_text(&file.tokens[i + 1]).to_string();
+            if config.wire_const_prefixes.iter().any(|p| name.starts_with(p.as_str())) {
+                consts.push((i + 1, name, file.tokens[i + 1].line));
+            }
+        }
+    }
+    for (decl_index, name, decl_line) in consts {
+        let mut encode_seen = false;
+        let mut decode_seen = false;
+        for j in 0..file.tokens.len() {
+            if j == decl_index || inside(&tests, j) || !file.is_ident(j, &name) {
+                continue;
+            }
+            if let Some(f) = enclosing_fn(&fns, j) {
+                let lower = f.name.to_lowercase();
+                if lower.contains("encode") || lower.contains("to_wire") {
+                    encode_seen = true;
+                }
+                if lower.contains("decode")
+                    || lower.contains("parse")
+                    || lower.contains("from_wire")
+                {
+                    decode_seen = true;
+                }
+            }
+        }
+        if !encode_seen {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: decl_line,
+                lint: ID,
+                message: format!(
+                    "wire kind `{name}` has no encode-path reference (a fn named *encode* or \
+                     *to_wire*)"
+                ),
+            });
+        }
+        if !decode_seen {
+            out.push(Diagnostic {
+                file: rel.to_string(),
+                line: decl_line,
+                lint: ID,
+                message: format!(
+                    "wire kind `{name}` has no decode-path reference (a fn named *decode*, \
+                     *parse* or *from_wire*)"
+                ),
+            });
+        }
+    }
+}

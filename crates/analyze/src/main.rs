@@ -1,0 +1,82 @@
+//! `mbdr-analyze` — CLI driver for the workspace lints.
+//!
+//! ```text
+//! mbdr-analyze [--root DIR] [--check] [--list]
+//! ```
+//!
+//! Walks the workspace sources, runs every lint, prints one
+//! `file:line: [lint-id] message` per finding and exits with
+//! `reproduce --check`-style semantics: 0 clean, 1 findings, 2 usage or
+//! I/O error. `--check` is accepted for symmetry with the other gates
+//! (analysis always checks); `--list` prints the lint catalog instead.
+
+use mbdr_analyze::{analyze_workspace, find_workspace_root, AnalyzeConfig};
+use mbdr_analyze::{LINT_DESCRIPTIONS, LINT_IDS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return die("--root needs a directory"),
+            },
+            "--check" => {}
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("usage: mbdr-analyze [--root DIR] [--check] [--list]");
+                return ExitCode::SUCCESS;
+            }
+            other => return die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list {
+        for (id, description) in LINT_IDS.iter().zip(LINT_DESCRIPTIONS) {
+            println!("{id}: {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => return die(&format!("cannot read the working directory: {e}")),
+            };
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => return die("no workspace root above the working directory; use --root"),
+            }
+        }
+    };
+
+    let config = match AnalyzeConfig::mbdr(&root) {
+        Ok(config) => config,
+        Err(e) => return die(&format!("cannot load the analysis config: {e}")),
+    };
+    let diagnostics = match analyze_workspace(&root, &config) {
+        Ok(diagnostics) => diagnostics,
+        Err(e) => return die(&format!("analysis failed: {e}")),
+    };
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("mbdr-analyze: clean ({} lints)", LINT_IDS.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("mbdr-analyze: {} finding(s)", diagnostics.len());
+        ExitCode::from(1)
+    }
+}
+
+fn die(message: &str) -> ExitCode {
+    eprintln!("mbdr-analyze: {message}");
+    ExitCode::from(2)
+}

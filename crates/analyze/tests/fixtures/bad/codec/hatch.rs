@@ -1,0 +1,15 @@
+//! Escape-hatch misuse: a hatch without a reason (which therefore does not
+//! suppress), a hatch naming an unknown lint, and a malformed directive.
+
+pub fn first(bytes: &[u8]) -> u8 {
+    // lint: allow(panic-freedom)
+    bytes[0]
+}
+
+pub fn second(bytes: &[u8]) -> u8 {
+    // lint: allow(made-up-lint) reason=no such lint
+    bytes[1]
+}
+
+// lint: deny(panic-freedom)
+pub fn third() {}

@@ -1,0 +1,21 @@
+//! A drifted codec: `KIND_PONG` is declared but has neither an encode nor a
+//! decode arm, and the decode path panics on hostile input.
+
+pub const KIND_PING: u8 = 1;
+pub const KIND_PONG: u8 = 2;
+
+pub fn encode_into(buf: &mut Vec<u8>) {
+    buf.push(KIND_PING);
+}
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes[0];
+    if first == KIND_PING {
+        return first;
+    }
+    panic!("unknown kind");
+}
+
+pub fn helper(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

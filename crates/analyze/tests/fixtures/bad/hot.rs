@@ -1,0 +1,10 @@
+//! A manifest function that allocates: builds an owned temporary and clones
+//! it instead of filling the caller's buffer.
+
+pub fn fill_into(src: &[u64], out: &mut Vec<u64>) {
+    let mut tmp = Vec::new();
+    for v in src {
+        tmp.push(v * 2);
+    }
+    *out = tmp.clone();
+}

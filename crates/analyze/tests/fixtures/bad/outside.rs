@@ -1,0 +1,5 @@
+//! `unsafe` outside the boundary, with no SAFETY comment: two findings.
+
+pub fn peek(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

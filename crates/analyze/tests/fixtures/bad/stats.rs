@@ -1,0 +1,17 @@
+//! An undisciplined counter: `ghost` is declared but never bumped and never
+//! surfaced by the snapshot.
+
+pub struct Stats {
+    pub sent: u64,
+    pub ghost: u64,
+}
+
+impl Stats {
+    pub fn record_send(&mut self) {
+        self.sent += 1;
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.sent
+    }
+}

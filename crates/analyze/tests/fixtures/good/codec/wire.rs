@@ -1,0 +1,34 @@
+//! A panic-free codec: every wire kind has an encode and a decode arm,
+//! hostile input surfaces as `None`, and the test module may use the
+//! panicky shorthands the production path must not.
+
+pub const KIND_PING: u8 = 1;
+pub const KIND_PONG: u8 = 2;
+
+pub fn encode_into(pong: bool, buf: &mut Vec<u8>) {
+    buf.push(if pong { KIND_PONG } else { KIND_PING });
+}
+
+pub fn decode(bytes: &[u8]) -> Option<bool> {
+    match *bytes.first()? {
+        KIND_PING => Some(false),
+        KIND_PONG => Some(true),
+        _ => None,
+    }
+}
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // lint: allow(panic-freedom) reason=fixture for a correctly reasoned hatch
+    bytes[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        super::encode_into(true, &mut buf);
+        assert_eq!(buf[0], super::KIND_PONG);
+        assert!(super::decode(&buf).unwrap());
+    }
+}

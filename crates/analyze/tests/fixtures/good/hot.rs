@@ -1,0 +1,10 @@
+//! An allocation-free hot-path function: fills the caller's scratch buffer
+//! and creates no owned storage of its own.
+
+/// Appends each doubled value into `out`.
+pub fn fill_into(src: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    for v in src {
+        out.push(v * 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! A disciplined counter struct: every field is both updated on the
+//! production path and surfaced through the snapshot function.
+
+pub struct Stats {
+    pub sent: u64,
+    pub dropped: u64,
+}
+
+impl Stats {
+    pub fn record_send(&mut self, delivered: bool) {
+        self.sent += 1;
+        if !delivered {
+            self.dropped += 1;
+        }
+    }
+
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.sent, self.dropped)
+    }
+}

@@ -1,0 +1,8 @@
+//! Inside the confinement boundary: `unsafe` is allowed here, and every
+//! site carries a SAFETY comment.
+
+/// Reads the value behind `ptr`.
+pub fn deref(ptr: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `ptr` is valid and aligned.
+    unsafe { *ptr }
+}

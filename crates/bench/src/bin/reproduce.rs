@@ -74,6 +74,7 @@ enum Command {
     ConnScale,
     Hotpath,
     Scale,
+    Analyze,
     All,
 }
 
@@ -97,6 +98,7 @@ impl Command {
             "connscale" => Command::ConnScale,
             "hotpath" => Command::Hotpath,
             "scale" => Command::Scale,
+            "analyze" => Command::Analyze,
             "all" => Command::All,
             _ => return None,
         })
@@ -181,9 +183,17 @@ fn parse_args() -> Options {
     if options.check && options.write_baseline {
         die("--check and --write-baseline are mutually exclusive");
     }
-    if (options.check || options.write_baseline) && options.command.baseline_file().is_none() {
-        die("--check/--write-baseline only apply to the JSON commands \
+    if options.write_baseline && options.command.baseline_file().is_none() {
+        die("--write-baseline only applies to the JSON commands \
              (json|throughput|wire|net|connscale|hotpath|scale)");
+    }
+    // `analyze` always checks (its committed "baseline" is zero findings),
+    // so `--check` is accepted there as a no-op for CI symmetry.
+    if options.check
+        && options.command.baseline_file().is_none()
+        && options.command != Command::Analyze
+    {
+        die("--check only applies to the JSON commands and `analyze`");
     }
     options
 }
@@ -197,8 +207,8 @@ fn die(message: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|wire|net|connscale|hotpath|scale|all]\n       [--scale F] [--seed N] \
-         [--csv] [--check] [--write-baseline] [--baseline-dir DIR]"
+         json|throughput|wire|net|connscale|hotpath|scale|analyze|all]\n       [--scale F] \
+         [--seed N] [--csv] [--check] [--write-baseline] [--baseline-dir DIR]"
     );
 }
 
@@ -318,6 +328,38 @@ fn run_json_command(options: &Options) {
 fn fail_check(path: &std::path::Path, message: &str) -> ! {
     eprintln!("error: {}: {message}", path.display());
     std::process::exit(1);
+}
+
+/// Runs the static-analysis gate: every `mbdr-analyze` lint over the
+/// workspace, with the same exit semantics as the baseline checks (0 clean,
+/// 1 findings). The committed "baseline" is zero findings, so there is no
+/// `--write-baseline` mode.
+fn run_analyze() {
+    let cwd = std::env::current_dir().unwrap_or_else(|e| {
+        eprintln!("error: cannot read the working directory: {e}");
+        std::process::exit(2);
+    });
+    let Some(root) = mbdr_analyze::find_workspace_root(&cwd) else {
+        eprintln!("error: no workspace root above {}", cwd.display());
+        std::process::exit(2);
+    };
+    let config = mbdr_analyze::AnalyzeConfig::mbdr(&root).unwrap_or_else(|e| {
+        eprintln!("error: cannot load the analysis config: {e}");
+        std::process::exit(2);
+    });
+    let diagnostics = mbdr_analyze::analyze_workspace(&root, &config).unwrap_or_else(|e| {
+        eprintln!("error: analysis failed: {e}");
+        std::process::exit(2);
+    });
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("analyze OK: {} lints clean over the workspace", mbdr_analyze::LINT_IDS.len());
+    } else {
+        eprintln!("analyze FAILED: {} finding(s)", diagnostics.len());
+        std::process::exit(1);
+    }
 }
 
 fn print_table1(scale: f64, seed: u64) {
@@ -440,6 +482,7 @@ fn main() {
         | Command::ConnScale
         | Command::Hotpath
         | Command::Scale => run_json_command(&options),
+        Command::Analyze => run_analyze(),
         Command::All => {
             print_table1(options.scale, options.seed);
             for kind in ScenarioKind::ALL {

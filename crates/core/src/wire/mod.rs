@@ -190,28 +190,36 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    /// `take(N)` as a fixed-size array. The length mismatch arm is
+    /// unreachable (take returned exactly `N` bytes) but maps to a typed
+    /// error rather than a panic: decode never panics on any input.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        self.take(N)?.try_into().map_err(|_| DecodeError::Truncated { needed: N, available: 0 })
+    }
+
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.array::<1>()?;
+        Ok(byte)
     }
 
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     fn f32(&mut self) -> Result<f32, DecodeError> {
-        Ok(f32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_be_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_be_bytes(self.array()?))
     }
 
     fn remaining(&self) -> usize {
@@ -429,10 +437,12 @@ impl Frame {
         // multi-megabyte allocation before the first read fails.
         let mut updates = Vec::new();
         if bytes.len() >= FRAME_HEADER_LEN {
-            let claimed = u16::from_be_bytes(bytes[8..10].try_into().expect("2 bytes")) as usize;
-            let max_plausible =
-                (bytes.len() - FRAME_HEADER_LEN) / (FRAME_LEN_PREFIX + UPDATE_BASE_LEN);
-            updates.reserve(claimed.min(max_plausible));
+            let mut header = Reader::new(bytes);
+            if let (Ok(_source), Ok(claimed)) = (header.u64(), header.u16()) {
+                let max_plausible =
+                    (bytes.len() - FRAME_HEADER_LEN) / (FRAME_LEN_PREFIX + UPDATE_BASE_LEN);
+                updates.reserve((claimed as usize).min(max_plausible));
+            }
         }
         let source = walk_frame(bytes, |u| updates.push(u))?;
         Ok(Frame { source, updates })
@@ -572,12 +582,17 @@ impl Iterator for FrameUpdates<'_> {
         if self.remaining == 0 {
             return None;
         }
+        // `FrameView::parse` already validated every update, so none of
+        // these reads can fail on a live view — but they go through the
+        // bounds-checked reader anyway so the iterator stays panic-free
+        // by construction, not by argument.
+        let mut reader = Reader::new(self.bytes);
+        let len = reader.u16().ok()? as usize;
+        let slice = reader.take(len).ok()?;
+        let update = Update::decode(slice).ok()?;
         self.remaining -= 1;
-        let len = u16::from_be_bytes(self.bytes[..FRAME_LEN_PREFIX].try_into().expect("validated"))
-            as usize;
-        let (slice, rest) = self.bytes[FRAME_LEN_PREFIX..].split_at(len);
-        self.bytes = rest;
-        Some(Update::decode(slice).expect("validated by FrameView::parse"))
+        self.bytes = self.bytes.get(FRAME_LEN_PREFIX + len..).unwrap_or_default();
+        Some(update)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

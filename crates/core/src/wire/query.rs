@@ -183,7 +183,7 @@ impl Request {
         let mut reader = Reader::new(bytes);
         let kind = reader.u8()?;
         let request = match kind {
-            REQ_INGEST => return Ok(Request::Ingest(bytes[1..].to_vec())),
+            REQ_INGEST => return Ok(Request::Ingest(bytes.get(1..).unwrap_or_default().to_vec())),
             REQ_RECT => {
                 let area = read_aabb(&mut reader)?;
                 let t = finite(reader.f64()?)?;

@@ -303,8 +303,12 @@ impl LocationService {
         if k == 0 {
             return;
         }
+        // `total_cmp` agrees with `partial_cmp` on every value that can
+        // occur here (squared distances: finite, non-negative, never -0.0)
+        // and stays a total order if a NaN ever slipped in, so the sort can
+        // never panic.
         let cmp = |a: &(f64, PositionReport), b: &(f64, PositionReport)| {
-            a.0.partial_cmp(&b.0).expect("finite").then(a.1.object.cmp(&b.1.object))
+            a.0.total_cmp(&b.0).then(a.1.object.cmp(&b.1.object))
         };
         let mut radius = self.config.cell_size_m;
         let QueryScratch { cand, near: candidates } = scratch;

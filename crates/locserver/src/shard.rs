@@ -277,7 +277,9 @@ impl ShardState {
             if top.at > t {
                 break;
             }
-            let Reverse(expiry) = self.expiries.pop().expect("peeked");
+            let Some(Reverse(expiry)) = self.expiries.pop() else {
+                break; // unreachable: the peek above saw an entry
+            };
             let tracked = &mut self.slots[expiry.slot as usize];
             if tracked.generation != expiry.generation {
                 continue; // superseded, deregistered or recycled since pushed

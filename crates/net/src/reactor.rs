@@ -51,8 +51,17 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard when the lock is poisoned. Every
+/// mutex in this module guards a plain queue or progress counter that stays
+/// coherent if its holder panicked mid-update, so poisoning is deliberately
+/// not propagated: one panicking worker must not cascade into tearing down
+/// every serving thread that shares its inbox.
+pub(crate) fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The token the reactor's own waker is registered under; connection tokens
 /// are their conn ids, which count up from zero and can never collide.
@@ -141,7 +150,7 @@ pub(crate) fn ingest_worker(
         let outcome = service.apply_frame_bytes(&job.frame_bytes);
         let mut notify = false;
         {
-            let mut p = job.progress.state.lock().expect("progress lock");
+            let mut p = locked(&job.progress.state);
             p.applied_frames += 1;
             match outcome {
                 Ok(applied) => {
@@ -167,11 +176,7 @@ pub(crate) fn ingest_worker(
         }
         if notify {
             let shared = &reactors[job.reactor];
-            shared
-                .completions
-                .lock()
-                .expect("completions")
-                .push(Completion { conn_id: job.conn_id });
+            locked(&shared.completions).push(Completion { conn_id: job.conn_id });
             shared.waker.wake();
         }
     }
@@ -478,9 +483,14 @@ impl Runtime {
 
     fn teardown(&mut self, mut conn: Conn, fate: Fate) {
         match fate {
-            Fate::Alive => unreachable!("teardown of a live connection"),
+            // `finish` never routes a live connection here; if a future
+            // refactor breaks that, account it as a drop (debug builds
+            // assert) rather than panicking the reactor thread.
+            Fate::Alive | Fate::Dropped => {
+                debug_assert!(fate == Fate::Dropped, "teardown of a live connection");
+                ServerStats::bump(&self.stats.connections_dropped);
+            }
             Fate::Closed => ServerStats::bump(&self.stats.connections_closed),
-            Fate::Dropped => ServerStats::bump(&self.stats.connections_dropped),
             Fate::Evicted => {
                 ServerStats::bump(&self.stats.evicted_slow);
                 ServerStats::bump(&self.stats.connections_dropped);
@@ -506,7 +516,7 @@ impl Runtime {
     /// Registers newly accepted connections posted by the accept thread.
     fn admit_incoming(&mut self) {
         let newcomers = {
-            let mut inbox = self.shared.incoming.lock().expect("reactor inbox");
+            let mut inbox = locked(&self.shared.incoming);
             if inbox.is_empty() {
                 return;
             }
@@ -532,7 +542,7 @@ impl Runtime {
     /// connections the ingest workers reported.
     fn service_completions(&mut self) {
         let completions = {
-            let mut queue = self.shared.completions.lock().expect("completions");
+            let mut queue = locked(&self.shared.completions);
             if queue.is_empty() {
                 return;
             }
@@ -549,7 +559,7 @@ impl Runtime {
 
     fn on_ingest_progress(&mut self, conn: &mut Conn) -> Fate {
         let (failed, drained, frames, updates) = {
-            let p = conn.progress.state.lock().expect("progress lock");
+            let p = locked(&conn.progress.state);
             (p.failed, p.applied_frames == p.enqueued, p.enqueued, p.applied_updates)
         };
         if failed {
@@ -729,7 +739,7 @@ impl Runtime {
             // EOF in the middle of a message: a truncation, not a close.
             return Fate::Dropped;
         }
-        let mut p = conn.progress.state.lock().expect("progress lock");
+        let mut p = locked(&conn.progress.state);
         if p.failed {
             return Fate::Dropped;
         }
@@ -823,7 +833,7 @@ impl Runtime {
             Failed,
         }
         let verdict = {
-            let mut p = conn.progress.state.lock().expect("progress lock");
+            let mut p = locked(&conn.progress.state);
             if p.failed {
                 Verdict::Failed
             } else if p.applied_frames == p.enqueued {
@@ -854,7 +864,7 @@ impl Runtime {
     /// distinguishes a first park from a retry for the stall counter).
     fn enqueue_frame(&mut self, conn: &mut Conn, frame_bytes: Vec<u8>, fresh: bool) -> Fate {
         {
-            let mut p = conn.progress.state.lock().expect("progress lock");
+            let mut p = locked(&conn.progress.state);
             p.enqueued += 1;
         }
         let job = IngestJob {
@@ -867,7 +877,7 @@ impl Runtime {
             Ok(()) => Fate::Alive,
             Err(TrySendError::Full(job)) => {
                 {
-                    let mut p = conn.progress.state.lock().expect("progress lock");
+                    let mut p = locked(&conn.progress.state);
                     p.enqueued -= 1;
                 }
                 conn.stalled_frame = Some(job.frame_bytes);

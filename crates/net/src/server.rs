@@ -53,7 +53,9 @@
 //! input panics a server thread, so the service's shard locks can never be
 //! poisoned by traffic.
 
-use crate::reactor::{ingest_worker, new_poller, IngestJob, NewConn, Reactor, ReactorShared};
+use crate::reactor::{
+    ingest_worker, locked, new_poller, IngestJob, NewConn, Reactor, ReactorShared,
+};
 use crate::stats::{ServerStats, ServerStatsSnapshot};
 use crate::sys::PollerBackend;
 use crate::transport::DEFAULT_MAX_MESSAGE_BYTES;
@@ -326,7 +328,7 @@ fn accept_loop(
         next_conn_id += 1;
         active_conns.fetch_add(1, Ordering::Relaxed);
         let shared = &reactors[(conn_id % reactors.len() as u64) as usize];
-        shared.incoming.lock().expect("reactor inbox").push(NewConn { stream, conn_id });
+        locked(&shared.incoming).push(NewConn { stream, conn_id });
         shared.waker.wake();
     }
 }

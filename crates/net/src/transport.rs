@@ -55,19 +55,20 @@ pub fn read_message_into(
 ) -> Result<bool, NetError> {
     buf.clear();
     let mut prefix = [0u8; 4];
+    let (first, rest) = prefix.split_at_mut(1);
     // The first byte distinguishes a clean close from a truncated message
     // (read_exact cannot: it maps both to UnexpectedEof). Retry EINTR like
     // read_exact does, so a signal landing on an idle connection does not
     // tear it down.
     loop {
-        match reader.read(&mut prefix[..1]) {
+        match reader.read(first) {
             Ok(0) => return Ok(false),
             Ok(_) => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e.into()),
         }
     }
-    reader.read_exact(&mut prefix[1..])?;
+    reader.read_exact(rest)?;
     let len = u32::from_be_bytes(prefix);
     if len == 0 {
         return Err(NetError::Decode(mbdr_core::DecodeError::Truncated {
