@@ -106,7 +106,9 @@ impl AnalyzeConfig {
             unsafe_boundary: vec!["crates/net/src/sys/".into()],
             panic_free: vec![
                 "crates/core/src/wire/".into(),
+                "crates/journal/src/".into(),
                 "crates/net/src/".into(),
+                "crates/locserver/src/durable.rs".into(),
                 "crates/locserver/src/lib.rs".into(),
                 "crates/locserver/src/service.rs".into(),
                 "crates/locserver/src/shard.rs".into(),
@@ -122,6 +124,13 @@ impl AnalyzeConfig {
                         "crates/net/src/server.rs".into(),
                     ],
                     surface_file: "crates/net/src/stats.rs".into(),
+                    surface_fn: Some("snapshot".into()),
+                },
+                CounterSpec {
+                    struct_name: "JournalStats".into(),
+                    decl_file: "crates/journal/src/stats.rs".into(),
+                    update_files: vec!["crates/journal/src/journal.rs".into()],
+                    surface_file: "crates/journal/src/stats.rs".into(),
                     surface_fn: Some("snapshot".into()),
                 },
                 CounterSpec {

@@ -20,7 +20,8 @@
 //! `--scale` (default 1.0) shrinks the trace length for quick smoke runs;
 //! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
 //! figure data as CSV instead of a table. For the JSON-emitting commands
-//! (`json`, `throughput`, `wire`, `net`, `connscale`, `hotpath`, `scale`),
+//! (`json`, `throughput`, `wire`, `net`, `connscale`, `hotpath`, `scale`,
+//! `recovery`),
 //! `--check` compares the fresh
 //! output against the committed `baselines/BENCH_<cmd>.json` with per-metric
 //! tolerances and exits non-zero on regression, `--write-baseline`
@@ -38,12 +39,13 @@ use mbdr_bench::netbase::{
     connscale_fd_demand, connscale_grid, net_grid, open_file_soft_limit, render_connscale_json,
     render_net_json,
 };
+use mbdr_bench::recovery::{recovery_bench, render_recovery_json};
 use mbdr_bench::scale::{render_scale_json, scale_grid};
 use mbdr_bench::throughput::{render_throughput_json, throughput_grid};
 use mbdr_bench::wire::wire_baseline;
 use mbdr_bench::{
     ablations, figure, figure_number, scenario_data, summary, table1, updates_along_route,
-    DEFAULT_SEED,
+    DEFAULT_SEED, REPRODUCE_COMMANDS,
 };
 use mbdr_geo::format_duration_hm;
 use mbdr_sim::{render_csv, render_json, render_table, ProtocolKind};
@@ -74,6 +76,7 @@ enum Command {
     ConnScale,
     Hotpath,
     Scale,
+    Recovery,
     Analyze,
     All,
 }
@@ -98,6 +101,7 @@ impl Command {
             "connscale" => Command::ConnScale,
             "hotpath" => Command::Hotpath,
             "scale" => Command::Scale,
+            "recovery" => Command::Recovery,
             "analyze" => Command::Analyze,
             "all" => Command::All,
             _ => return None,
@@ -115,6 +119,7 @@ impl Command {
             Command::ConnScale => "BENCH_connscale.json",
             Command::Hotpath => "BENCH_hotpath.json",
             Command::Scale => "BENCH_scale.json",
+            Command::Recovery => "BENCH_recovery.json",
             _ => return None,
         })
     }
@@ -185,7 +190,7 @@ fn parse_args() -> Options {
     }
     if options.write_baseline && options.command.baseline_file().is_none() {
         die("--write-baseline only applies to the JSON commands \
-             (json|throughput|wire|net|connscale|hotpath|scale)");
+             (json|throughput|wire|net|connscale|hotpath|scale|recovery)");
     }
     // `analyze` always checks (its committed "baseline" is zero findings),
     // so `--check` is accepted there as a no-op for CI symmetry.
@@ -206,9 +211,9 @@ fn die(message: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce [table1|fig7|fig8|fig9|fig10|figures|summary|updates-trace|ablations|\
-         json|throughput|wire|net|connscale|hotpath|scale|analyze|all]\n       [--scale F] \
-         [--seed N] [--csv] [--check] [--write-baseline] [--baseline-dir DIR]"
+        "usage: reproduce [{}]\n       [--scale F] [--seed N] [--csv] [--check] \
+         [--write-baseline] [--baseline-dir DIR]",
+        REPRODUCE_COMMANDS.join("|"),
     );
 }
 
@@ -247,6 +252,7 @@ fn baseline_json(command: Command, scale: f64, seed: u64) -> String {
         Command::ConnScale => render_connscale_json(scale, seed, &connscale_grid(scale, seed)),
         Command::Hotpath => render_hotpath_json(scale, seed, &hotpath_report(scale, seed)),
         Command::Scale => render_scale_json(scale, seed, &scale_grid(scale, seed)),
+        Command::Recovery => render_recovery_json(scale, seed, &recovery_bench(scale, seed)),
         _ => unreachable!("parse_args only routes JSON commands here"),
     }
 }
@@ -481,7 +487,8 @@ fn main() {
         | Command::Net
         | Command::ConnScale
         | Command::Hotpath
-        | Command::Scale => run_json_command(&options),
+        | Command::Scale
+        | Command::Recovery => run_json_command(&options),
         Command::Analyze => run_analyze(),
         Command::All => {
             print_table1(options.scale, options.seed);
@@ -491,6 +498,50 @@ fn main() {
             print_summary(options.scale, options.seed);
             print_updates_trace(options.scale, options.seed);
             print_ablations(options.scale, options.seed, options.csv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_list_and_parser_agree_exactly() {
+        // Every command the usage string (and the docs tested against
+        // REPRODUCE_COMMANDS) advertises must parse…
+        for name in REPRODUCE_COMMANDS {
+            assert!(Command::parse(name).is_some(), "`{name}` is documented but not parsed");
+        }
+        // …and near-miss spellings must not.
+        for name in ["fig11", "recover", "hot-path", "Scale", ""] {
+            assert!(Command::parse(name).is_none(), "`{name}` should not parse");
+        }
+    }
+
+    #[test]
+    fn json_commands_have_baseline_files_and_figure_commands_do_not() {
+        for name in REPRODUCE_COMMANDS {
+            let command = Command::parse(name).expect("parses");
+            let json_command = matches!(
+                command,
+                Command::Json
+                    | Command::Throughput
+                    | Command::Wire
+                    | Command::Net
+                    | Command::ConnScale
+                    | Command::Hotpath
+                    | Command::Scale
+                    | Command::Recovery
+            );
+            assert_eq!(
+                command.baseline_file().is_some(),
+                json_command,
+                "`{name}` baseline-file mapping drifted"
+            );
+            if let Some(file) = command.baseline_file() {
+                assert_eq!(file, format!("BENCH_{name}.json"), "baseline naming convention");
+            }
         }
     }
 }

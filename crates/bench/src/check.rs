@@ -209,7 +209,7 @@ enum MetricClass {
 /// counts, occupancy diagnostics and dedup counters are seed-deterministic
 /// (strict), while every wall clock and throughput below is machine-
 /// dependent (sanity-only).
-const TIMING_KEYS: [&str; 16] = [
+const TIMING_KEYS: [&str; 19] = [
     "wall_ms",
     "ingest_wall_s",
     "open_wall_s",
@@ -217,11 +217,14 @@ const TIMING_KEYS: [&str; 16] = [
     "query_wall_s",
     "rect_wall_s",
     "nearest_wall_s",
+    "recover_wall_s",
     "updates_per_sec",
+    "journaled_updates_per_sec",
     "queries_per_sec",
     "predicts_per_sec",
     "rect_per_sec",
     "nearest_per_sec",
+    "replay_per_sec",
     "latency_p50_ms",
     "latency_p99_ms",
     "p50_ms",

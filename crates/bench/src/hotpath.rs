@@ -13,7 +13,11 @@
 //! * queries: `objects_in_rect_into` / `nearest_objects_into` run against
 //!   caller-owned [`mbdr_locserver::QueryScratch`] and result buffers;
 //! * prediction: `MapPredictor::predict` walks the arc-length-indexed link
-//!   geometry and chooses outgoing links without collecting candidates.
+//!   geometry and chooses outgoing links without collecting candidates;
+//! * journaled ingest: the same schedule with a write-ahead
+//!   `mbdr_journal::Journal` attached — `Journal::append_frame` writes the
+//!   already-encoded frame bytes behind a stack-built record header, so
+//!   durability must cost syscalls, never allocations.
 //!
 //! The allocations-per-operation numbers are exact integers divided by the
 //! operation count, fully determined by the workload — the baseline pins
@@ -25,7 +29,10 @@
 use crate::alloccount;
 use mbdr_core::{LinearPredictor, MapPredictor, ObjectState, Predictor, Update, UpdateKind};
 use mbdr_geo::{Aabb, Point};
-use mbdr_locserver::{LocationService, ObjectId, PositionReport, QueryScratch, ServiceConfig};
+use mbdr_journal::{FsyncPolicy, JournalConfig};
+use mbdr_locserver::{
+    recover_and_attach, LocationService, ObjectId, PositionReport, QueryScratch, ServiceConfig,
+};
 use mbdr_roadnet::{NetworkBuilder, NodeId, RoadClass, RoadNetwork};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -64,6 +71,10 @@ pub struct HotpathReport {
     pub counting_allocator: bool,
     /// Heap allocations per ingested update in steady state (gate: 0).
     pub allocs_per_update: f64,
+    /// Heap allocations per ingested update with a write-ahead journal
+    /// attached (gate: 0 — journaling must not add hot-path allocations; the
+    /// record header lives on the stack and the segment file is pre-opened).
+    pub allocs_per_journaled_update: f64,
     /// Heap allocations per rect query in steady state (gate: 0).
     pub allocs_per_rect_query: f64,
     /// Heap allocations per nearest query in steady state (gate: 0).
@@ -76,6 +87,9 @@ pub struct HotpathReport {
     pub nearest_hits: u64,
     /// Measured ingest throughput, updates per second.
     pub updates_per_sec: f64,
+    /// Measured ingest throughput with the journal attached, updates per
+    /// second (machine- and filesystem-dependent).
+    pub journaled_updates_per_sec: f64,
     /// Measured query throughput (rect + nearest), queries per second.
     pub queries_per_sec: f64,
     /// Measured map-prediction throughput, predictions per second.
@@ -178,6 +192,47 @@ pub fn hotpath_report(scale: f64, seed: u64) -> HotpathReport {
     let ingest_allocs = alloccount::allocations() - allocs_before;
     assert_eq!(applied as u64, measured_updates, "every measured update is fresh");
 
+    // --- Journaled ingest: the same schedule against a second service with a
+    // write-ahead journal attached. One huge segment, no snapshots, and an
+    // effectively-infinite fsync batch, so the measured loop is exactly
+    // "append one pre-framed record + apply" — any allocation it performs is
+    // the journal's fault and fails the strict 0 gate. ---
+    let scratch = std::env::temp_dir().join(format!(
+        "mbdr-hotpath-journal-{}-{seed}-{}",
+        std::process::id(),
+        (scale * 1000.0) as u64
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let journaled =
+        LocationService::with_config(ServiceConfig { shards, ..ServiceConfig::default() });
+    for object in 0..objects as u64 {
+        journaled.register(ObjectId(object), Arc::new(LinearPredictor));
+    }
+    let journal_config = JournalConfig {
+        dir: scratch.clone(),
+        segment_max_bytes: u64::MAX,
+        fsync: FsyncPolicy::PerBatch(u32::MAX),
+        snapshot_every_frames: 0,
+    };
+    let (journal, _) =
+        recover_and_attach(&journaled, journal_config).expect("fresh scratch journal attaches");
+    for bytes in &frames[..warm_frames] {
+        journaled.apply_frame_bytes(bytes).expect("warm journaled frame applies");
+    }
+    let allocs_before = alloccount::allocations();
+    let started = Instant::now();
+    let mut journaled_applied = 0usize;
+    for bytes in &frames[warm_frames..] {
+        journaled_applied +=
+            journaled.apply_frame_bytes(bytes).expect("measured journaled frame applies");
+    }
+    let journaled_wall = started.elapsed().as_secs_f64();
+    let journaled_allocs = alloccount::allocations() - allocs_before;
+    assert_eq!(journaled_applied as u64, measured_updates, "journaled run sees the same updates");
+    drop(journal);
+    drop(journaled);
+    let _ = std::fs::remove_dir_all(&scratch);
+
     // --- Queries at the last reported instant (inside every index entry's
     // validity horizon, so no lazy re-grow perturbs the read path). ---
     let t_q = (total_rounds * UPDATES_PER_FRAME - 1) as f64 * UPDATE_INTERVAL_S;
@@ -239,12 +294,14 @@ pub fn hotpath_report(scale: f64, seed: u64) -> HotpathReport {
         predicts,
         counting_allocator: alloccount::counting_allocator_installed(),
         allocs_per_update: ingest_allocs as f64 / measured_updates as f64,
+        allocs_per_journaled_update: journaled_allocs as f64 / measured_updates as f64,
         allocs_per_rect_query: rect_allocs as f64 / queries as f64,
         allocs_per_nearest_query: nearest_allocs as f64 / queries as f64,
         allocs_per_predict: predict_allocs as f64 / predicts as f64,
         rect_hits,
         nearest_hits,
         updates_per_sec: measured_updates as f64 / ingest_wall.max(1e-9),
+        journaled_updates_per_sec: measured_updates as f64 / journaled_wall.max(1e-9),
         queries_per_sec: (2 * queries) as f64 / query_wall.max(1e-9),
         predicts_per_sec: predicts as f64 / predict_wall.max(1e-9),
     }
@@ -256,10 +313,12 @@ pub fn render_hotpath_json(scale: f64, seed: u64, r: &HotpathReport) -> String {
         "{{\"schema\":\"mbdr-hotpath/1\",\"scale\":{scale},\"seed\":{seed},\
          \"objects\":{},\"shards\":{},\"updates_per_frame\":{},\"ingest_rounds\":{},\
          \"queries\":{},\"predicts\":{},\"counting_allocator\":{},\
-         \"allocs_per_update\":{},\"allocs_per_rect_query\":{},\
+         \"allocs_per_update\":{},\"allocs_per_journaled_update\":{},\
+         \"allocs_per_rect_query\":{},\
          \"allocs_per_nearest_query\":{},\"allocs_per_predict\":{},\
          \"rect_hits\":{},\"nearest_hits\":{},\
-         \"updates_per_sec\":{:.1},\"queries_per_sec\":{:.1},\"predicts_per_sec\":{:.1}}}",
+         \"updates_per_sec\":{:.1},\"journaled_updates_per_sec\":{:.1},\
+         \"queries_per_sec\":{:.1},\"predicts_per_sec\":{:.1}}}",
         r.objects,
         r.shards,
         r.updates_per_frame,
@@ -268,12 +327,14 @@ pub fn render_hotpath_json(scale: f64, seed: u64, r: &HotpathReport) -> String {
         r.predicts,
         r.counting_allocator,
         r.allocs_per_update,
+        r.allocs_per_journaled_update,
         r.allocs_per_rect_query,
         r.allocs_per_nearest_query,
         r.allocs_per_predict,
         r.rect_hits,
         r.nearest_hits,
         r.updates_per_sec,
+        r.journaled_updates_per_sec,
         r.queries_per_sec,
         r.predicts_per_sec,
     )
@@ -296,7 +357,9 @@ mod tests {
         // moves, so the ratios must be exactly zero here too.
         if !report.counting_allocator {
             assert_eq!(report.allocs_per_update, 0.0);
+            assert_eq!(report.allocs_per_journaled_update, 0.0);
         }
+        assert!(report.journaled_updates_per_sec > 0.0);
         let json = render_hotpath_json(0.02, 7, &report);
         assert!(json.contains("\"schema\":\"mbdr-hotpath/1\""));
         assert!(json.contains("\"allocs_per_update\":"));

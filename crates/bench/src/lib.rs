@@ -19,7 +19,9 @@
 //! with per-metric tolerances (`reproduce <cmd> --check`). [`hotpath`]
 //! measures the steady-state ingest/query/predict pipeline under the
 //! counting allocator ([`alloccount`]) and pins its allocations-per-
-//! operation at zero.
+//! operation at zero. [`recovery`] is the durability baseline: journaled
+//! ingest, kill-and-recover bit-identity against an uninterrupted twin, and
+//! torn-tail repair arithmetic, all strict-gated.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,6 +30,7 @@ pub mod alloccount;
 pub mod check;
 pub mod hotpath;
 pub mod netbase;
+pub mod recovery;
 pub mod scale;
 pub mod throughput;
 pub mod wire;
@@ -40,6 +43,32 @@ use mbdr_trace::{Scenario, ScenarioData, ScenarioKind, TraceStats};
 
 /// Default random seed used by all experiments (fixed for reproducibility).
 pub const DEFAULT_SEED: u64 = 2001;
+
+/// Every `reproduce` subcommand, in the order the usage string lists them.
+/// The binary's parser, its usage output, and the operations runbook
+/// (`docs/OPERATIONS.md`) are all tested against this one list, so a command
+/// cannot be added or renamed without the documentation following.
+pub const REPRODUCE_COMMANDS: [&str; 19] = [
+    "table1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "figures",
+    "summary",
+    "updates-trace",
+    "ablations",
+    "json",
+    "throughput",
+    "wire",
+    "net",
+    "connscale",
+    "hotpath",
+    "scale",
+    "recovery",
+    "analyze",
+    "all",
+];
 
 /// Builds the scenario data for one movement pattern at the given scale
 /// (1.0 = the paper's full trace length).

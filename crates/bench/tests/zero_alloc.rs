@@ -24,6 +24,11 @@ fn steady_state_ingest_and_queries_do_not_allocate() {
         "steady-state apply_frame_bytes ingest must not allocate"
     );
     assert_eq!(
+        report.allocs_per_journaled_update, 0.0,
+        "journaled ingest must not add hot-path allocations (stack record \
+         header + pre-opened segment file)"
+    );
+    assert_eq!(
         report.allocs_per_rect_query, 0.0,
         "steady-state objects_in_rect_into must not allocate"
     );

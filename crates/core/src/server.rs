@@ -86,6 +86,32 @@ impl ServerTracker {
         self.last.as_ref()
     }
 
+    /// Sequence number of the last applied update, if any. Together with
+    /// [`ServerTracker::last_state`] this is exactly the state a durability
+    /// snapshot must capture for the staleness check to resume unchanged.
+    pub fn last_sequence(&self) -> Option<u64> {
+        self.last_sequence
+    }
+
+    /// Reinstates tracker state from a durability snapshot, bypassing the
+    /// freshness check: the snapshot is authoritative for its point in time.
+    /// Journal-tail frames replayed afterwards go through [`ServerTracker::apply`]
+    /// and are accepted or rejected by the normal staleness rules, so a
+    /// restore followed by replay converges on the live tracker's state.
+    ///
+    /// The non-finite-timestamp guard is kept: a snapshot can only contain a
+    /// state that `apply` once accepted, so a non-finite timestamp here means
+    /// the snapshot bytes did not come from this codebase's encoder.
+    pub fn restore(&mut self, update: &Update, updates_applied: u64, bytes_received: u64) {
+        if !update.state.timestamp.is_finite() {
+            return;
+        }
+        self.last_sequence = Some(update.sequence);
+        self.last = Some(update.state);
+        self.updates_applied = updates_applied;
+        self.bytes_received = bytes_received;
+    }
+
     /// Number of updates applied so far.
     pub fn updates_applied(&self) -> u64 {
         self.updates_applied

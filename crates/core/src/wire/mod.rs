@@ -56,6 +56,7 @@ use mbdr_geo::Point;
 use mbdr_roadnet::{LinkId, NodeId};
 
 pub mod query;
+pub mod snapshot;
 
 /// The node id reserved on the wire to mean "no travel direction".
 pub const TOWARDS_NONE_WIRE: u32 = u32::MAX;
@@ -423,7 +424,7 @@ impl Frame {
     /// Decodes a frame from exactly `bytes`. Never panics: truncated or
     /// corrupted buffers report a typed [`DecodeError`].
     ///
-    /// Shares its single validating walk ([`walk_frame`]) with
+    /// Shares its single validating walk (the private `walk_frame`) with
     /// [`FrameView::parse`], so the owned and the borrowed decoder accept
     /// and reject exactly the same inputs by construction, and each update
     /// is decoded exactly once. The only extra work here is materialising
@@ -532,7 +533,7 @@ impl<'a> FrameView<'a> {
     /// Validates `bytes` as exactly one encoded frame and returns the view.
     /// No shard state should be touched on failure: a frame is either
     /// entirely well-formed or rejected as a whole, exactly like
-    /// [`Frame::decode`] (both run the same [`walk_frame`] pass; here every
+    /// [`Frame::decode`] (both run the same private `walk_frame` pass; here every
     /// decoded update is a discarded stack copy — no allocation for any
     /// count the attacker claims).
     pub fn parse(bytes: &'a [u8]) -> Result<FrameView<'a>, DecodeError> {

@@ -1,6 +1,6 @@
 //! The serving-layer message kinds: queries a client sends to a location
 //! server and the responses it gets back, encoded with the same codec
-//! discipline as the update [`Frame`](super::Frame) — big-endian fields, a
+//! discipline as the update [`Frame`] — big-endian fields, a
 //! one-byte kind, typed [`DecodeError`]s, and no panics on truncation or
 //! garbage.
 //!
@@ -12,7 +12,7 @@
 //!
 //! | kind | name | payload |
 //! |---|---|---|
-//! | `0x01` | ingest | an encoded [`Frame`](super::Frame) (validated at apply time) |
+//! | `0x01` | ingest | an encoded [`Frame`] (validated at apply time) |
 //! | `0x02` | rect query | `min.x min.y max.x max.y t` (5 × `f64`) |
 //! | `0x03` | nearest query | `from.x from.y t` (3 × `f64`) + `k` (`u16`) |
 //! | `0x04` | zone subscribe | `zone` (`u32`) + `min.x min.y max.x max.y` (4 × `f64`) |
@@ -55,7 +55,7 @@ const ZONE_EVENT_LEN: usize = 21;
 /// One message a client sends to the serving layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// An encoded update [`Frame`](super::Frame), carried as raw bytes: the
+    /// An encoded update [`Frame`], carried as raw bytes: the
     /// serving layer forwards them to the ingest queue unparsed and the
     /// apply path (`LocationService::apply_frame_bytes`) validates them, so
     /// connection readers never decode update payloads twice.

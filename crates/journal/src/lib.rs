@@ -1,0 +1,47 @@
+//! Segmented write-ahead frame journal with snapshots and crash recovery.
+//!
+//! The MBDR serving stack treats the dead-reckoning **wire frame** as the
+//! authoritative record of fleet state, which makes it the natural durability
+//! unit: this crate persists the exact bytes the network reactor already
+//! parsed, so steady-state journaling is an append of a borrowed slice — no
+//! re-encode, no hot-path allocation.
+//!
+//! # On-disk layout
+//!
+//! A journal directory holds two kinds of files (byte-level spec in
+//! `docs/WIRE.md`):
+//!
+//! * **Segments** (`seg-<base>.mbdrj`): an 18-byte header
+//!   ([`SEGMENT_MAGIC`], format version, base frame index) followed by
+//!   length-prefixed, CRC-32-checksummed records, one wire frame each.
+//!   Segments rotate at [`JournalConfig::segment_max_bytes`].
+//! * **Snapshots** (`snap-<frames>.mbdrs`): a single checksummed blob encoding
+//!   full tracker state (via `mbdr-core`'s snapshot codec) as of a frame
+//!   count. Installing a snapshot compacts every segment that lies entirely
+//!   below it.
+//!
+//! # Crash safety
+//!
+//! [`Journal::open`] repairs a torn tail by truncating at the first invalid
+//! record and discarding unreachable later segments (counted in
+//! [`JournalStatsSnapshot::truncated_bytes`]); corrupt snapshots are ignored
+//! in favor of replaying the retained log. Recovery is
+//! snapshot-restore-then-replay, and replayed frames pass through the same
+//! staleness-aware apply rules as live traffic, so duplicates are harmless.
+//! All failure modes are typed [`JournalError`]s — the crate never panics on
+//! corrupt input.
+//!
+//! Durability is tunable via [`FsyncPolicy`] (per-frame, per-batch, or
+//! timer-based fsync). The crate is std-only.
+
+mod error;
+mod journal;
+mod stats;
+
+pub use error::JournalError;
+pub use journal::{
+    crc32, FsyncPolicy, Journal, JournalConfig, SnapshotBlob, JOURNAL_VERSION, MAX_RECORD_BYTES,
+    RECORD_HEADER_LEN, SEGMENT_FILE_SUFFIX, SEGMENT_HEADER_LEN, SEGMENT_MAGIC,
+    SNAPSHOT_FILE_SUFFIX, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC,
+};
+pub use stats::{JournalStats, JournalStatsSnapshot};

@@ -1,0 +1,63 @@
+//! Journal observability counters.
+//!
+//! [`JournalStats`] is the live, atomically updated counter block owned by a
+//! [`crate::Journal`]; [`JournalStatsSnapshot`] is the plain-value copy handed
+//! to callers (and surfaced through `mbdr-net`'s `ServerStatsSnapshot`).
+//! Counters only ever increase; a snapshot is a consistent-enough point-in-time
+//! read for monitoring (individual fields are loaded independently).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live monotonic counters for one journal instance.
+///
+/// All fields are updated with relaxed atomics from the append/recovery paths
+/// in `journal.rs` and read via [`JournalStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct JournalStats {
+    /// Frame records durably appended to the active segment.
+    pub(crate) appends: AtomicU64,
+    /// Number of `fsync`/`fdatasync` calls issued on segment or snapshot files.
+    pub(crate) fsyncs: AtomicU64,
+    /// Frame records streamed out of retained segments during recovery replay.
+    pub(crate) recovered_frames: AtomicU64,
+    /// Bytes discarded by torn-tail repair at open (truncated partial records
+    /// plus any unreachable later segments).
+    pub(crate) truncated_bytes: AtomicU64,
+    /// Snapshots successfully installed (written, fsynced, renamed into place).
+    pub(crate) snapshots: AtomicU64,
+    /// Append or snapshot attempts that failed with an I/O error and were
+    /// dropped by the infallible `record_frame` wrapper.
+    pub(crate) append_errors: AtomicU64,
+}
+
+impl JournalStats {
+    /// Copies every counter into a plain-value [`JournalStatsSnapshot`].
+    pub fn snapshot(&self) -> JournalStatsSnapshot {
+        let get = |field: &AtomicU64| field.load(Ordering::Relaxed);
+        JournalStatsSnapshot {
+            appends: get(&self.appends),
+            fsyncs: get(&self.fsyncs),
+            recovered_frames: get(&self.recovered_frames),
+            truncated_bytes: get(&self.truncated_bytes),
+            snapshots: get(&self.snapshots),
+            append_errors: get(&self.append_errors),
+        }
+    }
+}
+
+/// Point-in-time copy of [`JournalStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStatsSnapshot {
+    /// Frame records durably appended to the active segment.
+    pub appends: u64,
+    /// Number of `fsync`/`fdatasync` calls issued on segment or snapshot files.
+    pub fsyncs: u64,
+    /// Frame records streamed out of retained segments during recovery replay.
+    pub recovered_frames: u64,
+    /// Bytes discarded by torn-tail repair at open.
+    pub truncated_bytes: u64,
+    /// Snapshots successfully installed.
+    pub snapshots: u64,
+    /// Appends or snapshots dropped after an I/O error.
+    pub append_errors: u64,
+}

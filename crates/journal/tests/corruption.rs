@@ -1,0 +1,221 @@
+//! The torn-write corruption suite: every way a crash (or a hostile editor)
+//! can mangle journal files must recover with typed errors and counted
+//! truncation — never a panic, never silent acceptance of bad records.
+
+use mbdr_journal::{
+    FsyncPolicy, Journal, JournalConfig, JournalError, JOURNAL_VERSION, SEGMENT_MAGIC,
+};
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("mbdr-journal-corruption-{}-{tag}-{seq}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path) -> JournalConfig {
+    JournalConfig {
+        dir: dir.to_path_buf(),
+        segment_max_bytes: 8 * 1024 * 1024,
+        fsync: FsyncPolicy::PerBatch(4),
+        snapshot_every_frames: 0,
+    }
+}
+
+/// Appends `n` deterministic frames and closes the journal.
+fn seed_journal(config: &JournalConfig, n: u8) {
+    let journal = Journal::open(config.clone()).expect("seed open");
+    for i in 0..n {
+        journal.append_frame(&[i, 0xAB, i, 0xCD, i]).expect("seed append");
+    }
+    journal.flush().expect("seed flush");
+}
+
+fn segment_paths(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mbdrj"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn replay_count(journal: &Journal) -> u64 {
+    journal.replay(|_, _| {}).expect("replay")
+}
+
+#[test]
+fn truncated_record_is_repaired_and_counted() {
+    let dir = temp_dir("truncated");
+    let config = config(&dir);
+    seed_journal(&config, 10);
+    let segment = segment_paths(&dir).pop().expect("segment exists");
+    let len = fs::metadata(&segment).expect("meta").len();
+    // Chop into the middle of the last record: a torn write.
+    let file = OpenOptions::new().write(true).open(&segment).expect("open");
+    file.set_len(len - 3).expect("truncate");
+    drop(file);
+
+    let journal = Journal::open(config).expect("recovery open");
+    assert_eq!(journal.frames_appended(), 9, "last record was torn away");
+    assert_eq!(replay_count(&journal), 9);
+    let stats = journal.stats();
+    assert!(stats.truncated_bytes > 0, "repair must be visible: {stats:?}");
+    // The repaired journal accepts appends again.
+    journal.append_frame(b"post-repair").expect("append after repair");
+    assert_eq!(journal.frames_appended(), 10);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_checksum_byte_drops_the_record() {
+    let dir = temp_dir("crc");
+    let config = config(&dir);
+    seed_journal(&config, 10);
+    let segment = segment_paths(&dir).pop().expect("segment exists");
+    let mut bytes = fs::read(&segment).expect("read");
+    // Flip one payload byte of the final record: its CRC no longer matches.
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    fs::write(&segment, &bytes).expect("write back");
+
+    let journal = Journal::open(config).expect("recovery open");
+    assert_eq!(journal.frames_appended(), 9, "checksum failure truncates there");
+    assert_eq!(replay_count(&journal), 9);
+    assert!(journal.stats().truncated_bytes > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_tail_is_truncated_without_losing_valid_records() {
+    let dir = temp_dir("garbage-tail");
+    let config = config(&dir);
+    seed_journal(&config, 10);
+    let segment = segment_paths(&dir).pop().expect("segment exists");
+    let mut file = OpenOptions::new().append(true).open(&segment).expect("open");
+    file.write_all(&[0xFFu8; 64]).expect("garbage");
+    drop(file);
+
+    let journal = Journal::open(config).expect("recovery open");
+    assert_eq!(journal.frames_appended(), 10, "every valid record survives");
+    assert_eq!(replay_count(&journal), 10);
+    assert_eq!(journal.stats().truncated_bytes, 64);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_and_partial_header_segments_are_discarded() {
+    let dir = temp_dir("bad-segment");
+    let config = config(&dir);
+    seed_journal(&config, 5);
+    // Two bogus later segments: one pure junk, one cut off mid-header —
+    // both what a crash during segment creation can leave behind.
+    fs::write(dir.join("seg-00000000000000000005.mbdrj"), b"not a journal segment").unwrap();
+    fs::write(dir.join("seg-00000000000000000099.mbdrj"), &SEGMENT_MAGIC[..5]).unwrap();
+
+    let journal = Journal::open(config).expect("recovery open");
+    assert_eq!(journal.frames_appended(), 5);
+    assert_eq!(replay_count(&journal), 5);
+    assert!(journal.stats().truncated_bytes > 0);
+    assert_eq!(segment_paths(&dir).len(), 1, "bogus segments deleted");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corruption_in_an_early_segment_discards_everything_after_it() {
+    let dir = temp_dir("mid-log");
+    let mut config = config(&dir);
+    config.segment_max_bytes = 64; // many small segments
+    seed_journal(&config, 20);
+    let segments = segment_paths(&dir);
+    assert!(segments.len() > 2, "need a multi-segment log, got {}", segments.len());
+    // Corrupt a record in the SECOND segment: everything from that point on
+    // is unreachable (records only become durable in order).
+    let victim = &segments[1];
+    let mut bytes = fs::read(victim).expect("read");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(victim, &bytes).expect("write back");
+
+    let journal = Journal::open(config).expect("recovery open");
+    let survivors = replay_count(&journal);
+    assert!(survivors < 20, "later segments must not be replayed");
+    assert_eq!(journal.frames_appended(), survivors);
+    assert!(journal.stats().truncated_bytes > 0);
+    // New appends continue from the repaired tail and survive a reopen.
+    journal.append_frame(b"after-mid-log-repair").expect("append");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn future_format_version_is_a_typed_refusal_not_a_repair() {
+    let dir = temp_dir("version");
+    let config = config(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&SEGMENT_MAGIC);
+    header.extend_from_slice(&(JOURNAL_VERSION + 1).to_be_bytes());
+    header.extend_from_slice(&0u64.to_be_bytes());
+    let path = dir.join("seg-00000000000000000000.mbdrj");
+    fs::write(&path, &header).unwrap();
+
+    let err = match Journal::open(config) {
+        Ok(_) => panic!("newer format must refuse"),
+        Err(err) => err,
+    };
+    assert!(
+        matches!(err, JournalError::UnsupportedVersion { version, .. } if version == JOURNAL_VERSION + 1),
+        "wrong error: {err}"
+    );
+    // Crucially the file was NOT deleted or truncated: a newer build's data
+    // is never destructively "repaired" by an older one.
+    assert_eq!(fs::read(&path).unwrap(), header);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_is_ignored_in_favor_of_the_log() {
+    let dir = temp_dir("snapshot");
+    let mut config = config(&dir);
+    config.snapshot_every_frames = 4;
+    let journal = Journal::open(config.clone()).expect("open");
+    for i in 0..6u8 {
+        journal.append_frame(&[i; 12]).expect("append");
+    }
+    let frames = journal.begin_snapshot().expect("snapshot due");
+    journal.install_snapshot(frames, b"tracker-state").expect("install");
+    drop(journal);
+    // Flip a byte inside the snapshot body: checksum now fails.
+    let snap: PathBuf = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "mbdrs"))
+        .expect("snapshot file");
+    let mut bytes = fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x10;
+    fs::write(&snap, &bytes).unwrap();
+
+    let journal = Journal::open(config).expect("recovery open");
+    assert!(journal.load_snapshot().expect("no error").is_none(), "corrupt snapshot ignored");
+    assert_eq!(journal.recovered_snapshot_frames(), None);
+    // The un-compacted tail still replays.
+    assert!(replay_count(&journal) > 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_render_human_readable_messages() {
+    let io = JournalError::Io(std::io::Error::other("disk on fire"));
+    assert!(format!("{io}").contains("disk on fire"));
+    let record = JournalError::RecordTooLarge { len: 7 };
+    assert!(format!("{record}").contains('7'));
+}

@@ -46,10 +46,12 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod durable;
 pub mod service;
 mod shard;
 pub mod zones;
 
 pub use config::ServiceConfig;
+pub use durable::{recover_and_attach, RecoverError, RecoveryReport};
 pub use service::{IndexStats, LocationService, ObjectId, PositionReport, QueryScratch};
 pub use zones::{ZoneEvent, ZoneEventKind, ZoneWatcher};

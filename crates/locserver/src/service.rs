@@ -3,17 +3,19 @@
 //! The store is partitioned into [`ServiceConfig::shards`] lock stripes, each
 //! holding the [`mbdr_core::ServerTracker`]s of the objects hashed to it plus
 //! a [`mbdr_spatial::MovingIndex`] over conservative bounding boxes of their
-//! predicted positions (see [`crate::shard`] for the index invariant). Update
+//! predicted positions (see the private `shard` module for the index invariant). Update
 //! ingestion touches exactly one shard; range and nearest queries visit the
 //! shards' indexes and never hold a global lock, and their answers are
 //! identical to what a full scan over every tracker would return.
 
 use crate::config::ServiceConfig;
 use crate::shard::{CandidateScratch, Shard};
+use mbdr_core::wire::snapshot::{encode_snapshot_into, SnapshotEntry};
 use mbdr_core::{DecodeError, Frame, FrameView, Predictor, Update};
 use mbdr_geo::{Aabb, Point};
+use mbdr_journal::Journal;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a tracked mobile object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -76,6 +78,10 @@ pub struct IndexStats {
 pub struct LocationService {
     config: ServiceConfig,
     shards: Vec<Shard>,
+    /// Write-ahead journal for ingested frames, set at most once (see
+    /// [`LocationService::attach_journal`]). `OnceLock` keeps the steady-state
+    /// read on the ingest path a plain atomic load.
+    journal: OnceLock<Arc<Journal>>,
 }
 
 impl Default for LocationService {
@@ -94,7 +100,25 @@ impl LocationService {
     pub fn with_config(config: ServiceConfig) -> Self {
         let config = config.validated();
         let shards = (0..config.shards).map(|_| Shard::new(config)).collect();
-        LocationService { config, shards }
+        LocationService { config, shards, journal: OnceLock::new() }
+    }
+
+    /// Attaches an opened [`Journal`]: every later
+    /// [`LocationService::apply_frame_bytes`] call records the frame's exact
+    /// bytes before applying them, and snapshot proposals run when the
+    /// journal's threshold is reached. At most one journal can ever be
+    /// attached; returns `false` (leaving the existing one in place) on a
+    /// second attempt.
+    ///
+    /// Attach *after* restoring state — [`crate::durable::recover_and_attach`]
+    /// runs the full open → restore → replay → attach sequence.
+    pub fn attach_journal(&self, journal: Arc<Journal>) -> bool {
+        self.journal.set(journal).is_ok()
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.get()
     }
 
     /// The configuration the service was built with.
@@ -207,7 +231,41 @@ impl LocationService {
     /// shard's single write-lock hold — no intermediate `Vec<Update>` is
     /// ever built, so steady-state ingest performs no heap allocation (the
     /// property the `mbdr-bench` counting-allocator gate enforces).
+    ///
+    /// With a journal attached (see [`LocationService::attach_journal`]) the
+    /// validated frame bytes are appended to the write-ahead log *inside* the
+    /// shard's write-lock hold, immediately before they are applied: readers
+    /// can never observe applied state whose frame is not yet in the journal,
+    /// which is what makes snapshot collection under shard read locks
+    /// consistent with the journal's frame count. The append reuses the
+    /// borrowed slice (stack-built record header, no re-encode), so journaled
+    /// steady-state ingest stays allocation-free too.
     pub fn apply_frame_bytes(&self, bytes: &[u8]) -> Result<usize, DecodeError> {
+        let view = FrameView::parse(bytes)?;
+        if view.is_empty() {
+            return Ok(0);
+        }
+        let object = ObjectId(view.source());
+        let journal = self.journal.get();
+        let applied = self.shard_of(object).write(|s| {
+            if let Some(journal) = journal {
+                journal.record_frame(bytes);
+            }
+            view.updates().filter(|u| s.apply_update(object, u)).count()
+        });
+        if let Some(journal) = journal {
+            if journal.snapshot_pending() {
+                self.snapshot_to_journal(journal);
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Recovery twin of [`LocationService::apply_frame_bytes`]: applies a
+    /// frame that came *out of* the journal, without re-journaling it. Only
+    /// the recovery path ([`crate::durable`]) uses this, before the journal is
+    /// attached for live traffic.
+    pub(crate) fn replay_frame_bytes(&self, bytes: &[u8]) -> Result<usize, DecodeError> {
         let view = FrameView::parse(bytes)?;
         if view.is_empty() {
             return Ok(0);
@@ -216,6 +274,57 @@ impl LocationService {
         Ok(self
             .shard_of(object)
             .write(|s| view.updates().filter(|u| s.apply_update(object, u)).count()))
+    }
+
+    /// Proposes and, if the journal grants it, installs a snapshot of the full
+    /// tracker state. Collection takes each shard's read lock in turn; because
+    /// appends happen inside the shard write hold *before* the apply, every
+    /// frame counted by the journal at grant time is visible to the collection
+    /// (frames appended concurrently after the grant may also be included,
+    /// which is harmless: replaying them over the snapshot is rejected by the
+    /// staleness rules). Failures are counted on the journal and swallowed —
+    /// a snapshot that could not be written only delays compaction.
+    pub(crate) fn snapshot_to_journal(&self, journal: &Journal) {
+        let Some(frames) = journal.begin_snapshot() else {
+            return;
+        };
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            shard.read(|s| s.snapshot_entries_into(&mut entries));
+        }
+        entries.sort_unstable_by_key(|e| e.object);
+        let mut body = Vec::new();
+        match encode_snapshot_into(frames, &entries, &mut body) {
+            Ok(()) => {
+                if journal.install_snapshot(frames, &body).is_err() {
+                    journal.note_write_error();
+                }
+            }
+            Err(_) => {
+                journal.note_write_error();
+                journal.abort_snapshot();
+            }
+        }
+    }
+
+    /// Restores tracker state from decoded snapshot entries. Returns
+    /// `(restored, skipped)` — an entry is skipped when its object is not
+    /// registered on this service (recovery cannot invent the predictor).
+    pub(crate) fn restore_entries(&self, entries: &[SnapshotEntry]) -> (u64, u64) {
+        let mut restored = 0u64;
+        let mut skipped = 0u64;
+        for entry in entries {
+            let object = ObjectId(entry.object);
+            let ok = self.shard_of(object).write(|s| {
+                s.restore_object(object, &entry.update, entry.updates_applied, entry.bytes_received)
+            });
+            if ok {
+                restored += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        (restored, skipped)
     }
 
     /// Total write-lock acquisitions across all stripes — a cheap diagnostic

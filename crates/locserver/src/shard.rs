@@ -35,7 +35,8 @@
 
 use crate::config::ServiceConfig;
 use crate::service::{ObjectId, PositionReport};
-use mbdr_core::{Predictor, ServerTracker, Update};
+use mbdr_core::wire::snapshot::SnapshotEntry;
+use mbdr_core::{Predictor, ServerTracker, Update, UpdateKind};
 use mbdr_geo::{Aabb, Point};
 use mbdr_spatial::{MovingIndex, SeenScratch, SpatialIndex};
 use parking_lot::RwLock;
@@ -212,6 +213,60 @@ impl ShardState {
         }
         self.prune_superseded_expiries();
         true
+    }
+
+    /// Reinstates one object's tracker state from a durability snapshot and
+    /// re-anchors its index entry, mirroring the accepted-update path of
+    /// [`ShardState::apply_update`] (same `reindex` call, so the rebuilt
+    /// spatial entry is bit-identical to the one an uninterrupted server
+    /// holds). Returns `false` when the object is not registered — recovery
+    /// cannot invent a tracker because it would not know the predictor.
+    pub(crate) fn restore_object(
+        &mut self,
+        object: ObjectId,
+        update: &Update,
+        updates_applied: u64,
+        bytes_received: u64,
+    ) -> bool {
+        let Some(&slot) = self.by_id.get(&object) else {
+            return false;
+        };
+        let tracked = &mut self.slots[slot as usize];
+        tracked.tracker.restore(update, updates_applied, bytes_received);
+        if tracked.tracker.last_state().is_some() {
+            Self::reindex(&self.config, &mut self.index, &mut self.expiries, slot, tracked, None);
+        }
+        self.prune_superseded_expiries();
+        true
+    }
+
+    /// Appends one durability-snapshot entry per object with applied state to
+    /// `out` (objects still waiting for their first update carry no state and
+    /// are skipped — recovery re-registers them empty, exactly as they were).
+    /// Iteration order is arbitrary; the caller sorts.
+    pub(crate) fn snapshot_entries_into(&self, out: &mut Vec<SnapshotEntry>) {
+        for (&object, &slot) in &self.by_id {
+            let tracked = &self.slots[slot as usize];
+            let tracker = &tracked.tracker;
+            let (Some(state), Some(sequence)) = (tracker.last_state(), tracker.last_sequence())
+            else {
+                continue;
+            };
+            out.push(SnapshotEntry {
+                object: object.0,
+                updates_applied: tracker.updates_applied(),
+                bytes_received: tracker.bytes_received(),
+                update: Update {
+                    sequence,
+                    state: *state,
+                    // The tracker does not retain the original update kind and
+                    // nothing downstream of `apply` depends on it; `Initial`
+                    // is the canonical choice for a state that (re)starts a
+                    // tracker.
+                    kind: UpdateKind::Initial,
+                },
+            });
+        }
     }
 
     /// Drops lazily-deleted entries from the top of the expiry heap (entries

@@ -1,0 +1,288 @@
+//! Kill-and-recover equivalence: a service rebuilt from its journal
+//! (snapshot + tail replay) must answer every query **bit-identically** to an
+//! uninterrupted twin that applied the same frames in memory — rect id sets
+//! and positions, nearest-neighbour sequences, and zone enter/leave events.
+
+use mbdr_core::{encode_snapshot_into, Frame, SnapshotEntry};
+use mbdr_core::{LinearPredictor, ObjectState, Update, UpdateKind};
+use mbdr_geo::{Aabb, Point};
+use mbdr_journal::{FsyncPolicy, Journal, JournalConfig};
+use mbdr_locserver::{recover_and_attach, LocationService, ObjectId, ServiceConfig, ZoneWatcher};
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+const OBJECTS: u64 = 12;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("mbdr-locserver-recovery-{}-{tag}-{seq}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fleet() -> LocationService {
+    let service =
+        LocationService::with_config(ServiceConfig { shards: 4, ..ServiceConfig::default() });
+    for i in 0..OBJECTS {
+        service.register(ObjectId(i), Arc::new(LinearPredictor));
+    }
+    service
+}
+
+/// Deterministic pre-encoded frames: round-robin over the fleet, three
+/// updates per frame, positions from a splitmix-style generator.
+fn encoded_frames(rounds: u64) -> Vec<Vec<u8>> {
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut step = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((rng >> 17) % 4001) as f64 - 2000.0
+    };
+    let mut out = Vec::new();
+    for round in 0..rounds {
+        for object in 0..OBJECTS {
+            let mut frame = Frame::new(object);
+            for u in 0..3u64 {
+                let t = round as f64 * 2.0 + u as f64 * 0.5;
+                let state = ObjectState::basic(
+                    Point::new(step(), step()),
+                    4.0 + (object % 5) as f64,
+                    0.25 * (u + 1) as f64,
+                    t,
+                );
+                frame.updates.push(Update {
+                    sequence: round * 3 + u,
+                    state,
+                    kind: UpdateKind::DeviationBound,
+                });
+            }
+            out.push(frame.encode().expect("encode frame"));
+        }
+    }
+    out
+}
+
+/// Asserts the two services answer rect, nearest and zone queries with
+/// exactly the same bits, across a grid of query times and areas.
+fn assert_equivalent(recovered: &LocationService, twin: &LocationService, t_max: f64) {
+    assert_eq!(recovered.total_updates(), twin.total_updates(), "update counts diverge");
+    let areas = [
+        Aabb::new(Point::new(-2000.0, -2000.0), Point::new(2000.0, 2000.0)),
+        Aabb::new(Point::new(-500.0, -500.0), Point::new(500.0, 500.0)),
+        Aabb::new(Point::new(0.0, -2000.0), Point::new(2000.0, 0.0)),
+    ];
+    let vantage = [Point::new(0.0, 0.0), Point::new(-1500.0, 900.0)];
+    let mut t = 0.0;
+    while t <= t_max {
+        for area in &areas {
+            assert_eq!(
+                recovered.objects_in_rect(area, t),
+                twin.objects_in_rect(area, t),
+                "rect answers diverge at t={t}"
+            );
+        }
+        for from in &vantage {
+            assert_eq!(
+                recovered.nearest_objects(from, t, 5),
+                twin.nearest_objects(from, t, 5),
+                "nearest answers diverge at t={t}"
+            );
+        }
+        for i in 0..OBJECTS {
+            assert_eq!(
+                recovered.position_of(ObjectId(i), t),
+                twin.position_of(ObjectId(i), t),
+                "position diverges for object {i} at t={t}"
+            );
+        }
+        t += 7.5;
+    }
+    // Zone transitions depend on every intermediate evaluation, so two fresh
+    // watchers walked over the same times must emit identical event streams.
+    let mut watcher_a = ZoneWatcher::new();
+    let mut watcher_b = ZoneWatcher::new();
+    for w in [&mut watcher_a, &mut watcher_b] {
+        w.add_zone("downtown", Aabb::new(Point::new(-800.0, -800.0), Point::new(800.0, 800.0)));
+        w.add_zone("east", Aabb::new(Point::new(0.0, -2000.0), Point::new(2000.0, 2000.0)));
+    }
+    let mut t = 0.0;
+    while t <= t_max {
+        assert_eq!(
+            watcher_a.evaluate(recovered, t),
+            watcher_b.evaluate(twin, t),
+            "zone events diverge at t={t}"
+        );
+        t += 5.0;
+    }
+}
+
+fn journal_config(dir: &Path) -> JournalConfig {
+    JournalConfig {
+        dir: dir.to_path_buf(),
+        segment_max_bytes: 4 * 1024, // force rotation
+        fsync: FsyncPolicy::PerBatch(8),
+        snapshot_every_frames: 40, // force snapshots + compaction
+    }
+}
+
+#[test]
+fn killed_service_recovers_bit_identical_to_uninterrupted_twin() {
+    let dir = temp_dir("bit-identity");
+    let frames = encoded_frames(30);
+    let crash_at = (frames.len() * 7) / 10;
+
+    // Primary: journaled, ingests a prefix, then "crashes" (dropped without
+    // any explicit flush — durability must not depend on a clean shutdown).
+    let primary = fleet();
+    let (journal, report) =
+        recover_and_attach(&primary, journal_config(&dir)).expect("initial attach");
+    assert_eq!(report.replayed_frames, 0, "fresh dir: nothing to replay");
+    for bytes in &frames[..crash_at] {
+        primary.apply_frame_bytes(bytes).expect("primary apply");
+    }
+    let primary_stats = journal.stats();
+    assert_eq!(primary_stats.appends, crash_at as u64);
+    assert!(primary_stats.snapshots >= 1, "snapshot cadence must have fired");
+    assert!(primary_stats.fsyncs > 0);
+    drop(primary);
+    drop(journal);
+
+    // Twin: same frames, purely in memory, never interrupted.
+    let twin = fleet();
+    for bytes in &frames[..crash_at] {
+        twin.apply_frame_bytes(bytes).expect("twin apply");
+    }
+
+    // Recovered: fresh process, state rebuilt from snapshot + tail.
+    let recovered = fleet();
+    let (journal, report) = recover_and_attach(&recovered, journal_config(&dir)).expect("recovery");
+    assert!(report.snapshot_frames > 0, "snapshot must participate: {report:?}");
+    assert_eq!(report.restored_objects, OBJECTS, "{report:?}");
+    assert_eq!(report.frame_decode_errors, 0);
+    assert_eq!(report.truncated_bytes, 0, "clean files: nothing torn");
+    assert!(
+        (report.replayed_frames as usize) < crash_at,
+        "compaction must shorten replay: {report:?}"
+    );
+    // A retained segment can straddle the snapshot floor, so the replay may
+    // overlap the snapshot — coverage is "at least", and the staleness rules
+    // make the overlap harmless.
+    assert!(
+        report.snapshot_frames + report.replayed_frames >= crash_at as u64,
+        "snapshot + tail must cover the journaled prefix: {report:?}"
+    );
+    assert_equivalent(&recovered, &twin, 70.0);
+
+    // Both keep serving: apply the remaining frames to each and re-compare.
+    // The recovered service keeps journaling while it does.
+    for bytes in &frames[crash_at..] {
+        recovered.apply_frame_bytes(bytes).expect("recovered apply");
+        twin.apply_frame_bytes(bytes).expect("twin apply");
+    }
+    assert_equivalent(&recovered, &twin, 70.0);
+    let stats = journal.stats();
+    assert_eq!(
+        stats.recovered_frames + stats.appends,
+        (frames.len() - crash_at) as u64 + report.replayed_frames,
+        "post-recovery appends continue the same journal: {stats:?}"
+    );
+    drop(recovered);
+    drop(journal);
+
+    // Third generation: recover again over the full history.
+    let third = fleet();
+    let (_journal, report) = recover_and_attach(&third, journal_config(&dir)).expect("recovery 2");
+    assert!(report.snapshot_frames + report.replayed_frames >= frames.len() as u64, "{report:?}");
+    assert_equivalent(&third, &twin, 70.0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_recovers_to_the_last_complete_frame() {
+    let dir = temp_dir("torn-tail");
+    let frames = encoded_frames(6);
+    let config = JournalConfig {
+        snapshot_every_frames: 0, // log only: keep the byte layout predictable
+        segment_max_bytes: 64 * 1024 * 1024,
+        ..journal_config(&dir)
+    };
+
+    let primary = fleet();
+    let (journal, _) = recover_and_attach(&primary, config.clone()).expect("attach");
+    for bytes in &frames {
+        primary.apply_frame_bytes(bytes).expect("apply");
+    }
+    journal.flush().expect("flush");
+    drop(primary);
+    drop(journal);
+
+    // Tear the tail: flip a byte in the final record's payload, then append
+    // garbage after it — a crash mid-write followed by disk noise.
+    let segment: PathBuf = fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "mbdrj"))
+        .expect("segment file");
+    let mut bytes = fs::read(&segment).expect("read segment");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    fs::write(&segment, &bytes).expect("write back");
+    let mut file = OpenOptions::new().append(true).open(&segment).expect("open");
+    file.write_all(&[0xEEu8; 37]).expect("garbage");
+    drop(file);
+
+    let recovered = fleet();
+    let (_journal, report) = recover_and_attach(&recovered, config).expect("recovery");
+    assert_eq!(report.replayed_frames, frames.len() as u64 - 1, "{report:?}");
+    assert!(report.truncated_bytes > 0, "{report:?}");
+    assert_eq!(report.frame_decode_errors, 0);
+
+    // The twin that never saw the torn final frame is the ground truth.
+    let twin = fleet();
+    for bytes in &frames[..frames.len() - 1] {
+        twin.apply_frame_bytes(bytes).expect("twin apply");
+    }
+    assert_equivalent(&recovered, &twin, 30.0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_entries_for_unregistered_objects_are_skipped() {
+    let dir = temp_dir("unregistered");
+    let config = JournalConfig { snapshot_every_frames: 0, ..journal_config(&dir) };
+    // Hand-craft a journal whose snapshot mentions an object the recovering
+    // service does not serve: counted as skipped, never a panic.
+    let journal = Journal::open(config.clone()).expect("open");
+    let known = ObjectState::basic(Point::new(1.0, 2.0), 3.0, 0.0, 1.0);
+    let unknown = ObjectState::basic(Point::new(9.0, 9.0), 1.0, 0.0, 1.0);
+    let entries = [
+        SnapshotEntry {
+            object: 0,
+            updates_applied: 1,
+            bytes_received: 42,
+            update: Update { sequence: 5, state: known, kind: UpdateKind::Initial },
+        },
+        SnapshotEntry {
+            object: OBJECTS + 100,
+            updates_applied: 1,
+            bytes_received: 42,
+            update: Update { sequence: 5, state: unknown, kind: UpdateKind::Initial },
+        },
+    ];
+    let mut body = Vec::new();
+    encode_snapshot_into(2, &entries, &mut body).expect("encode snapshot");
+    journal.install_snapshot(2, &body).expect("install");
+    drop(journal);
+
+    let recovered = fleet();
+    let (_journal, report) = recover_and_attach(&recovered, config).expect("recovery");
+    assert_eq!(report.restored_objects, 1, "{report:?}");
+    assert_eq!(report.skipped_objects, 1, "{report:?}");
+    assert!(recovered.position_of(ObjectId(0), 1.0).is_some());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,7 @@
 //! Linux, `poll(2)` elsewhere — see [`crate::sys`]), and `ingest_workers`
 //! threads applying frames to the service. Ten connections or ten thousand,
 //! the thread count does not move; per-connection cost is a socket, a
-//! registration and a state machine (see [`crate::reactor`]).
+//! registration and a state machine (see the private `reactor` module).
 //!
 //! Each connection is owned by one reactor (round-robin at accept) and
 //! pinned to one ingest worker: the tracker's staleness rule rejects updates
@@ -59,7 +59,8 @@ use crate::reactor::{
 use crate::stats::{ServerStats, ServerStatsSnapshot};
 use crate::sys::PollerBackend;
 use crate::transport::DEFAULT_MAX_MESSAGE_BYTES;
-use mbdr_locserver::{IndexStats, LocationService};
+use mbdr_journal::{Journal, JournalConfig};
+use mbdr_locserver::{recover_and_attach, IndexStats, LocationService, RecoveryReport};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
@@ -127,6 +128,9 @@ pub struct NetServer {
     reactor_handles: Vec<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     pool_threads: usize,
+    /// Present when the server was started via [`NetServer::bind_durable`].
+    journal: Option<Arc<Journal>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl NetServer {
@@ -220,7 +224,34 @@ impl NetServer {
             reactor_handles,
             worker_handles,
             pool_threads: 1 + n_reactors + n_workers,
+            journal: None,
+            recovery: None,
         })
+    }
+
+    /// Like [`NetServer::bind`], but with a durable write-ahead journal:
+    /// before the listener starts, the journal at `journal.dir` is opened
+    /// (repairing any torn tail), the newest snapshot is restored into
+    /// `service`, the retained frame tail is replayed through the normal
+    /// staleness-aware apply rules, and the journal is attached so every
+    /// ingested frame is recorded from then on.
+    ///
+    /// Objects must be registered on `service` before this call — recovery
+    /// restores tracker state only for registered objects (a snapshot cannot
+    /// carry prediction functions). Inspect what was rebuilt via
+    /// [`NetServer::recovery_report`].
+    pub fn bind_durable(
+        service: Arc<LocationService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        journal: JournalConfig,
+    ) -> std::io::Result<NetServer> {
+        let (journal, recovery) =
+            recover_and_attach(&service, journal).map_err(std::io::Error::other)?;
+        let mut server = Self::bind(service, addr, config)?;
+        server.journal = Some(journal);
+        server.recovery = Some(recovery);
+        Ok(server)
     }
 
     /// The address the server is listening on.
@@ -233,9 +264,26 @@ impl NetServer {
         &self.service
     }
 
-    /// A copy of the serving counters.
+    /// A copy of the serving counters. On a durable server
+    /// ([`NetServer::bind_durable`]) the journal's counters are overlaid into
+    /// [`ServerStatsSnapshot::journal`].
     pub fn stats(&self) -> ServerStatsSnapshot {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        if let Some(journal) = &self.journal {
+            snapshot.journal = journal.stats();
+        }
+        snapshot
+    }
+
+    /// What crash recovery rebuilt at bind time (durable servers only).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The write-ahead journal, when the server was started with
+    /// [`NetServer::bind_durable`].
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// The size of the fixed thread pool (accept + reactors + ingest
@@ -280,6 +328,11 @@ impl NetServer {
         // joined, the workers drain their queues and see the disconnect.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
+        }
+        // With ingest quiesced, push any batched journal tail to disk so a
+        // graceful shutdown loses nothing regardless of the fsync policy.
+        if let Some(journal) = &self.journal {
+            let _ = journal.flush();
         }
     }
 }

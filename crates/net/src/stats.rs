@@ -6,6 +6,7 @@
 //! they applied, and why a connection ended (clean close vs. protocol
 //! violation).
 
+use mbdr_journal::JournalStatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared atomic counters the server threads bump as they work.
@@ -61,6 +62,9 @@ impl ServerStats {
             readiness_wakeups: get(&self.readiness_wakeups),
             spurious_wakeups: get(&self.spurious_wakeups),
             register_failures: get(&self.register_failures),
+            // The journal's counters live on the journal, not here:
+            // `NetServer::stats` overlays them when journaling is enabled.
+            journal: JournalStatsSnapshot::default(),
         }
     }
 }
@@ -115,4 +119,8 @@ pub struct ServerStatsSnapshot {
     /// admission cap was reached or the poller rejected the socket — the
     /// reactor-era descendant of "the reader thread failed to spawn".
     pub register_failures: u64,
+    /// Write-ahead journal counters (all zero unless the server was started
+    /// with [`crate::NetServer::bind_durable`]); see
+    /// [`mbdr_journal::JournalStatsSnapshot`].
+    pub journal: JournalStatsSnapshot,
 }

@@ -19,10 +19,10 @@
 //!   contract on Linux.
 //!
 //! Everything unsafe is confined to the two backend files: the rest of the
-//! crate sees only [`Poller`] (register / reregister / deregister / wait
-//! with a token per fd), [`Event`] (token + readable/writable bits, with
+//! crate sees only `Poller` (register / reregister / deregister / wait
+//! with a token per fd), `Event` (token + readable/writable bits, with
 //! error and hangup conditions folded into both so the read/write paths
-//! discover them as EOF or `EPIPE`), and [`Waker`] (a nonblocking
+//! discover them as EOF or `EPIPE`), and `Waker` (a nonblocking
 //! `UnixStream` pair for cross-thread wakeups — no raw pipe syscalls
 //! needed). On non-Unix targets the module compiles to stubs that fail at
 //! `NetServer::bind` time with [`std::io::ErrorKind::Unsupported`]; the

@@ -18,7 +18,7 @@
 //! [`ScaleConfig::hotspot_fraction`] (~30%), and within the hotspot the cell
 //! is Zipf(1)-distributed, so the first cell alone holds roughly
 //! `fraction / H_harmonic` of the whole fleet. Everything is driven by one
-//! seeded [`SplitMix64`] stream, so reports are bit-deterministic for a
+//! seeded SplitMix64 stream, so reports are bit-deterministic for a
 //! given config — which is what lets `reproduce scale --check` gate the
 //! result counts and occupancy diagnostics strictly.
 //!

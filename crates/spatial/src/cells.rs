@@ -6,7 +6,7 @@
 //! occupied cell and a SipHash invocation per probe — at 10⁵–10⁶ objects the
 //! query path spends its time pointer-chasing. This module replaces it with:
 //!
-//! * [`CellTable`] — an open-addressed (linear-probing, tombstone-deleting)
+//! * `CellTable` — an open-addressed (linear-probing, tombstone-deleting)
 //!   hash table from cell coordinates to a small `Copy` payload, using a
 //!   multiply-xor integer hash. One flat slot array, no per-cell boxes; the
 //!   payload points into whatever flat arena the owning index keeps.

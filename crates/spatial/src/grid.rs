@@ -8,7 +8,7 @@
 //! practice, independent of the map size.
 //!
 //! Cell membership is stored without per-cell heap boxes: an open-addressed
-//! [`CellTable`] maps the cell coordinate to a chain of slots in one flat
+//! the crate-private `CellTable` maps the cell coordinate to a chain of slots in one flat
 //! arena. Incremental inserts prepend to the chain in O(1); [`compact`]
 //! (called automatically by [`bulk_load`]) rewrites the arena so every cell's
 //! slots are contiguous and in insertion order — a CSR-style layout that

@@ -19,7 +19,7 @@
 //!   small integer id; the key → id map is hashed only on mutation;
 //! * cell membership lives in one flat slab of `(key, dense_id)` slots,
 //!   carved into power-of-two-capacity segments — one contiguous segment per
-//!   occupied cell, found through an open-addressed [`CellTable`];
+//!   occupied cell, found through an open-addressed `CellTable`;
 //! * every entry records its placements (`cell`, position *within* the
 //!   cell's segment), so removal is a swap-remove plus a placement patch —
 //!   O(cells per entry), independent of how crowded the cells are;
