@@ -108,6 +108,7 @@ impl AnalyzeConfig {
                 "crates/core/src/wire/".into(),
                 "crates/journal/src/".into(),
                 "crates/net/src/".into(),
+                "crates/locserver/src/durability.rs".into(),
                 "crates/locserver/src/durable.rs".into(),
                 "crates/locserver/src/lib.rs".into(),
                 "crates/locserver/src/service.rs".into(),
@@ -131,6 +132,13 @@ impl AnalyzeConfig {
                     decl_file: "crates/journal/src/stats.rs".into(),
                     update_files: vec!["crates/journal/src/journal.rs".into()],
                     surface_file: "crates/journal/src/stats.rs".into(),
+                    surface_fn: Some("snapshot".into()),
+                },
+                CounterSpec {
+                    struct_name: "DurabilityControl".into(),
+                    decl_file: "crates/locserver/src/durability.rs".into(),
+                    update_files: vec!["crates/locserver/src/durability.rs".into()],
+                    surface_file: "crates/locserver/src/durability.rs".into(),
                     surface_fn: Some("snapshot".into()),
                 },
                 CounterSpec {

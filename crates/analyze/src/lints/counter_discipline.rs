@@ -13,8 +13,10 @@ use std::collections::BTreeMap;
 
 pub const ID: &str = "counter-discipline";
 
-/// Callee names that mutate a counter handed to them by reference.
-const UPDATE_CALLEES: [&str; 5] = ["bump", "add", "fetch_add", "fetch_sub", "store"];
+/// Callee names that mutate a counter handed to them by reference
+/// (`swap` covers the atomic state byte of the durability machine, which
+/// is only ever written through `AtomicU8::swap`).
+const UPDATE_CALLEES: [&str; 6] = ["bump", "add", "fetch_add", "fetch_sub", "store", "swap"];
 
 /// How many tokens before `&x.field` the mutating callee may sit
 /// (`bump ( & self . stats . field` is the longest committed idiom).

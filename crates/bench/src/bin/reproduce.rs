@@ -21,7 +21,7 @@
 //! `--seed` changes the synthetic map/trace/noise seed; `--csv` prints the
 //! figure data as CSV instead of a table. For the JSON-emitting commands
 //! (`json`, `throughput`, `wire`, `net`, `connscale`, `hotpath`, `scale`,
-//! `recovery`),
+//! `recovery`, `faults`),
 //! `--check` compares the fresh
 //! output against the committed `baselines/BENCH_<cmd>.json` with per-metric
 //! tolerances and exits non-zero on regression, `--write-baseline`
@@ -34,6 +34,7 @@
 
 use mbdr_bench::alloccount::CountingAllocator;
 use mbdr_bench::check::{compare_baseline, parse_json};
+use mbdr_bench::faults::{faults_bench, render_faults_json};
 use mbdr_bench::hotpath::{hotpath_report, render_hotpath_json};
 use mbdr_bench::netbase::{
     connscale_fd_demand, connscale_grid, net_grid, open_file_soft_limit, render_connscale_json,
@@ -77,6 +78,7 @@ enum Command {
     Hotpath,
     Scale,
     Recovery,
+    Faults,
     Analyze,
     All,
 }
@@ -102,6 +104,7 @@ impl Command {
             "hotpath" => Command::Hotpath,
             "scale" => Command::Scale,
             "recovery" => Command::Recovery,
+            "faults" => Command::Faults,
             "analyze" => Command::Analyze,
             "all" => Command::All,
             _ => return None,
@@ -120,6 +123,7 @@ impl Command {
             Command::Hotpath => "BENCH_hotpath.json",
             Command::Scale => "BENCH_scale.json",
             Command::Recovery => "BENCH_recovery.json",
+            Command::Faults => "BENCH_faults.json",
             _ => return None,
         })
     }
@@ -190,7 +194,7 @@ fn parse_args() -> Options {
     }
     if options.write_baseline && options.command.baseline_file().is_none() {
         die("--write-baseline only applies to the JSON commands \
-             (json|throughput|wire|net|connscale|hotpath|scale|recovery)");
+             (json|throughput|wire|net|connscale|hotpath|scale|recovery|faults)");
     }
     // `analyze` always checks (its committed "baseline" is zero findings),
     // so `--check` is accepted there as a no-op for CI symmetry.
@@ -253,6 +257,7 @@ fn baseline_json(command: Command, scale: f64, seed: u64) -> String {
         Command::Hotpath => render_hotpath_json(scale, seed, &hotpath_report(scale, seed)),
         Command::Scale => render_scale_json(scale, seed, &scale_grid(scale, seed)),
         Command::Recovery => render_recovery_json(scale, seed, &recovery_bench(scale, seed)),
+        Command::Faults => render_faults_json(scale, seed, &faults_bench(scale, seed)),
         _ => unreachable!("parse_args only routes JSON commands here"),
     }
 }
@@ -488,7 +493,8 @@ fn main() {
         | Command::ConnScale
         | Command::Hotpath
         | Command::Scale
-        | Command::Recovery => run_json_command(&options),
+        | Command::Recovery
+        | Command::Faults => run_json_command(&options),
         Command::Analyze => run_analyze(),
         Command::All => {
             print_table1(options.scale, options.seed);
@@ -533,6 +539,7 @@ mod tests {
                     | Command::Hotpath
                     | Command::Scale
                     | Command::Recovery
+                    | Command::Faults
             );
             assert_eq!(
                 command.baseline_file().is_some(),

@@ -21,13 +21,18 @@
 //! counting allocator ([`alloccount`]) and pins its allocations-per-
 //! operation at zero. [`recovery`] is the durability baseline: journaled
 //! ingest, kill-and-recover bit-identity against an uninterrupted twin, and
-//! torn-tail repair arithmetic, all strict-gated.
+//! torn-tail repair arithmetic, all strict-gated. [`faults`] is the
+//! degraded-mode baseline: a seeded disk outage mid-stream
+//! ([`mbdr_sim::FaultPlan`]), probe-driven self-healing, then a crash whose
+//! recovery must lose nothing acknowledged — exact degraded-frame
+//! accounting and `bit_identical_acknowledged`, all strict-gated.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod alloccount;
 pub mod check;
+pub mod faults;
 pub mod hotpath;
 pub mod netbase;
 pub mod recovery;
@@ -48,7 +53,7 @@ pub const DEFAULT_SEED: u64 = 2001;
 /// The binary's parser, its usage output, and the operations runbook
 /// (`docs/OPERATIONS.md`) are all tested against this one list, so a command
 /// cannot be added or renamed without the documentation following.
-pub const REPRODUCE_COMMANDS: [&str; 19] = [
+pub const REPRODUCE_COMMANDS: [&str; 20] = [
     "table1",
     "fig7",
     "fig8",
@@ -66,6 +71,7 @@ pub const REPRODUCE_COMMANDS: [&str; 19] = [
     "hotpath",
     "scale",
     "recovery",
+    "faults",
     "analyze",
     "all",
 ];

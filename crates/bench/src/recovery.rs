@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Updates batched per journaled frame.
-const UPDATES_PER_FRAME: usize = 4;
+pub(crate) const UPDATES_PER_FRAME: usize = 4;
 
 /// Fdatasync batch window of the journaled ingest phase (strictly gated:
 /// `fsyncs` counts one sync per full window plus rotation/snapshot syncs).
@@ -94,7 +94,7 @@ pub struct RecoveryBench {
     pub replay_per_sec: f64,
 }
 
-fn fleet(objects: usize) -> LocationService {
+pub(crate) fn fleet(objects: usize) -> LocationService {
     let service =
         LocationService::with_config(ServiceConfig { shards: 8, ..ServiceConfig::default() });
     for i in 0..objects as u64 {
@@ -105,7 +105,7 @@ fn fleet(objects: usize) -> LocationService {
 
 /// The pre-encoded frame schedule: round-robin over the fleet, positions from
 /// a 64-bit LCG, timestamps strictly increasing per object.
-fn encoded_frames(objects: usize, rounds: usize, seed: u64) -> Vec<Vec<u8>> {
+pub(crate) fn encoded_frames(objects: usize, rounds: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng: u64 = seed ^ 0x9E37_79B9_7F4A_7C15;
     let mut step = move || {
         rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -136,7 +136,12 @@ fn encoded_frames(objects: usize, rounds: usize, seed: u64) -> Vec<Vec<u8>> {
 
 /// Probes both services over a grid of rect, nearest and position queries and
 /// returns whether every answer matched bit for bit.
-fn queries_match(a: &LocationService, b: &LocationService, objects: usize, t_max: f64) -> bool {
+pub(crate) fn queries_match(
+    a: &LocationService,
+    b: &LocationService,
+    objects: usize,
+    t_max: f64,
+) -> bool {
     if a.total_updates() != b.total_updates() {
         return false;
     }

@@ -75,6 +75,8 @@ pub use protocol::{ProtocolConfig, Sighting, UpdateProtocol};
 pub use server::ServerTracker;
 pub use state::{ObjectState, Update, UpdateKind};
 pub use time_based::TimeBasedReporting;
-pub use wire::query::{PositionRecord, Request, Response, ServeError, ZoneEventRecord};
+pub use wire::query::{
+    DurabilityState, HealthStatus, PositionRecord, Request, Response, ServeError, ZoneEventRecord,
+};
 pub use wire::snapshot::{decode_snapshot, encode_snapshot_into, SnapshotEntry};
 pub use wire::{DecodeError, EncodeError, Frame, FrameView, UpdateView};

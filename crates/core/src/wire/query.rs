@@ -18,6 +18,7 @@
 //! | `0x04` | zone subscribe | `zone` (`u32`) + `min.x min.y max.x max.y` (4 × `f64`) |
 //! | `0x05` | zone poll | `t` (`f64`) |
 //! | `0x06` | flush | — |
+//! | `0x07` | health | — |
 //!
 //! ## Response layout
 //!
@@ -27,6 +28,7 @@
 //! | `0x82` | zone events | count (`u32`), then per event `zone` (`u32`) + `object` (`u64`) + entered (`u8`) + `t` (`f64`) |
 //! | `0x83` | flush done | `frames` (`u64`) + `updates_applied` (`u64`) |
 //! | `0x84` | error | code (`u8`, see [`ServeError`]) |
+//! | `0x85` | health | state (`u8`, see [`DurabilityState`]) + `degraded_frames` + `recovered_frames` + `truncated_bytes` + `append_errors` (4 × `u64`) |
 //!
 //! Float fields must be finite on the wire: a NaN query point would poison
 //! the server's distance ordering, so decoding rejects non-finite values with
@@ -41,11 +43,13 @@ const REQ_NEAREST: u8 = 0x03;
 const REQ_ZONE_SUBSCRIBE: u8 = 0x04;
 const REQ_ZONE_POLL: u8 = 0x05;
 const REQ_FLUSH: u8 = 0x06;
+const REQ_HEALTH: u8 = 0x07;
 
 const RESP_POSITIONS: u8 = 0x81;
 const RESP_ZONE_EVENTS: u8 = 0x82;
 const RESP_FLUSH_DONE: u8 = 0x83;
 const RESP_ERROR: u8 = 0x84;
+const RESP_HEALTH: u8 = 0x85;
 
 /// Bytes of one encoded position record (`object` + `x` + `y` + `age`).
 const POSITION_RECORD_LEN: usize = 32;
@@ -92,6 +96,10 @@ pub enum Request {
     /// Asks the server to answer once every ingest frame previously sent on
     /// this connection has been applied (the write barrier).
     Flush,
+    /// Asks the server for its durability health: the current
+    /// [`DurabilityState`] plus the counters a client needs to judge whether
+    /// its acknowledged frames were journaled.
+    Health,
 }
 
 impl Request {
@@ -162,6 +170,7 @@ impl Request {
                 buf.extend_from_slice(&t.to_be_bytes());
             }
             Request::Flush => buf.push(REQ_FLUSH),
+            Request::Health => buf.push(REQ_HEALTH),
         }
     }
 
@@ -203,6 +212,7 @@ impl Request {
             }
             REQ_ZONE_POLL => Request::ZonePoll { t: finite(reader.f64()?)? },
             REQ_FLUSH => Request::Flush,
+            REQ_HEALTH => Request::Health,
             other => return Err(DecodeError::InvalidKind(other)),
         };
         if reader.remaining() != 0 {
@@ -272,6 +282,80 @@ impl std::fmt::Display for ServeError {
     }
 }
 
+/// Where a durable server currently sits on the availability-over-durability
+/// trade-off. Carried in the health response as one byte; the full state
+/// machine (transitions, probing, re-flooring) lives in
+/// `mbdr-locserver::durability`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DurabilityState {
+    /// Every acknowledged frame is being journaled (or no journal is
+    /// attached at all and the server never promised durability).
+    #[default]
+    Durable,
+    /// Journal appends are failing: the server keeps serving, but frames
+    /// applied while degraded are counted in `degraded_frames` and are NOT
+    /// durable until a recovery snapshot covers them.
+    Degraded,
+    /// A re-probe repaired the journal and installed a snapshot of live
+    /// tracker state, re-establishing a durability floor that covers the
+    /// degraded window. Appends are journaled again; the distinct state (vs.
+    /// `Durable`) tells operators a degraded window existed in this lifetime.
+    Recovered,
+}
+
+impl DurabilityState {
+    /// The one-byte wire encoding used inside `RESP_HEALTH`.
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            DurabilityState::Durable => 0,
+            DurabilityState::Degraded => 1,
+            DurabilityState::Recovered => 2,
+        }
+    }
+
+    /// Decodes the wire byte; unknown values report
+    /// [`DecodeError::InvalidFlags`].
+    pub fn from_wire(byte: u8) -> Result<Self, DecodeError> {
+        Ok(match byte {
+            0 => DurabilityState::Durable,
+            1 => DurabilityState::Degraded,
+            2 => DurabilityState::Recovered,
+            other => return Err(DecodeError::InvalidFlags(other)),
+        })
+    }
+}
+
+impl std::fmt::Display for DurabilityState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityState::Durable => write!(f, "durable"),
+            DurabilityState::Degraded => write!(f, "degraded"),
+            DurabilityState::Recovered => write!(f, "recovered"),
+        }
+    }
+}
+
+/// The payload of a health response: the durability state machine's position
+/// plus the journal counters that tell a client whether (and how many of) its
+/// acknowledged frames were actually journaled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthStatus {
+    /// Current position of the durability state machine.
+    pub state: DurabilityState,
+    /// Frames applied to live trackers without being journaled (the degraded
+    /// window's size so far).
+    pub degraded_frames: u64,
+    /// Frames replayed from the journal during recovery passes.
+    pub recovered_frames: u64,
+    /// Bytes discarded by torn-tail repair at open or by degraded-mode
+    /// re-probe repairs.
+    pub truncated_bytes: u64,
+    /// Journal append failures observed (each one also flips or keeps the
+    /// server Degraded while persistent).
+    pub append_errors: u64,
+}
+
 /// One message the serving layer sends back to a client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -289,6 +373,8 @@ pub enum Response {
     /// The request was rejected; the server drops the connection after
     /// sending this.
     Error(ServeError),
+    /// Answer to a health request.
+    Health(HealthStatus),
 }
 
 /// Appends an encoded positions response (kind byte + count + records) to
@@ -388,6 +474,14 @@ impl Response {
                 buf.push(RESP_ERROR);
                 buf.push(code.to_wire());
             }
+            Response::Health(health) => {
+                buf.push(RESP_HEALTH);
+                buf.push(health.state.to_wire());
+                buf.extend_from_slice(&health.degraded_frames.to_be_bytes());
+                buf.extend_from_slice(&health.recovered_frames.to_be_bytes());
+                buf.extend_from_slice(&health.truncated_bytes.to_be_bytes());
+                buf.extend_from_slice(&health.append_errors.to_be_bytes());
+            }
         }
         Ok(())
     }
@@ -436,6 +530,13 @@ impl Response {
                 Response::FlushDone { frames: reader.u64()?, updates_applied: reader.u64()? }
             }
             RESP_ERROR => Response::Error(ServeError::from_wire(reader.u8()?)?),
+            RESP_HEALTH => Response::Health(HealthStatus {
+                state: DurabilityState::from_wire(reader.u8()?)?,
+                degraded_frames: reader.u64()?,
+                recovered_frames: reader.u64()?,
+                truncated_bytes: reader.u64()?,
+                append_errors: reader.u64()?,
+            }),
             other => return Err(DecodeError::InvalidKind(other)),
         };
         if reader.remaining() != 0 {
@@ -492,6 +593,7 @@ mod tests {
             },
             Request::ZonePoll { t: 42.0 },
             Request::Flush,
+            Request::Health,
         ]
     }
 
@@ -514,6 +616,27 @@ mod tests {
             Response::FlushDone { frames: 40, updates_applied: 123 },
             Response::Error(ServeError::BadRequest),
             Response::Error(ServeError::Oversized),
+            Response::Health(HealthStatus {
+                state: DurabilityState::Durable,
+                degraded_frames: 0,
+                recovered_frames: 17,
+                truncated_bytes: 0,
+                append_errors: 0,
+            }),
+            Response::Health(HealthStatus {
+                state: DurabilityState::Degraded,
+                degraded_frames: 41,
+                recovered_frames: 2,
+                truncated_bytes: 12,
+                append_errors: 43,
+            }),
+            Response::Health(HealthStatus {
+                state: DurabilityState::Recovered,
+                degraded_frames: 41,
+                recovered_frames: 2,
+                truncated_bytes: 12,
+                append_errors: 43,
+            }),
         ]
     }
 
@@ -586,6 +709,22 @@ mod tests {
         bytes.push(0);
         assert_eq!(Response::decode(&bytes), Err(DecodeError::TrailingBytes(1)));
         assert_eq!(Response::decode(&[RESP_ERROR, 99]), Err(DecodeError::InvalidKind(99)));
+        // An unknown durability-state byte is a typed flags error.
+        let mut bytes = Response::Health(HealthStatus::default()).encode().unwrap();
+        bytes[1] = 7;
+        assert_eq!(Response::decode(&bytes), Err(DecodeError::InvalidFlags(7)));
+    }
+
+    #[test]
+    fn durability_state_wire_bytes_round_trip() {
+        for state in
+            [DurabilityState::Durable, DurabilityState::Degraded, DurabilityState::Recovered]
+        {
+            assert_eq!(DurabilityState::from_wire(state.to_wire()).unwrap(), state);
+        }
+        assert_eq!(DurabilityState::from_wire(3), Err(DecodeError::InvalidFlags(3)));
+        assert_eq!(DurabilityState::default(), DurabilityState::Durable);
+        assert_eq!(format!("{}", DurabilityState::Degraded), "degraded");
     }
 
     #[test]

@@ -33,10 +33,22 @@
 //!
 //! Durability is tunable via [`FsyncPolicy`] (per-frame, per-batch, or
 //! timer-based fsync). The crate is std-only.
+//!
+//! # Fault injection
+//!
+//! All disk access goes through the [`Vfs`] storage seam. Production code
+//! uses the passthrough [`RealFs`]; tests and the `faults` benchmark workload
+//! open the journal with [`Journal::open_with_vfs`] over a [`FaultFs`] — a
+//! seeded, schedule-driven wrapper that injects fsync failures, torn writes,
+//! `ENOSPC`, and rename failures at exact operation counts, making every
+//! corruption shape reproducible from a seed. [`Journal::repair_and_sync`]
+//! is the disk-side half of degraded-mode recovery: it restores a clean,
+//! synced, appendable tail once a dying disk heals.
 
 mod error;
 mod journal;
 mod stats;
+mod vfs;
 
 pub use error::JournalError;
 pub use journal::{
@@ -45,3 +57,4 @@ pub use journal::{
     SNAPSHOT_FILE_SUFFIX, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC,
 };
 pub use stats::{JournalStats, JournalStatsSnapshot};
+pub use vfs::{FaultFs, FaultKind, RealFs, Vfs, VfsFile};

@@ -46,12 +46,14 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod durability;
 pub mod durable;
 pub mod service;
 mod shard;
 pub mod zones;
 
 pub use config::ServiceConfig;
+pub use durability::DurabilityStatsSnapshot;
 pub use durable::{recover_and_attach, RecoverError, RecoveryReport};
 pub use service::{IndexStats, LocationService, ObjectId, PositionReport, QueryScratch};
 pub use zones::{ZoneEvent, ZoneEventKind, ZoneWatcher};

@@ -9,9 +9,10 @@
 //! identical to what a full scan over every tracker would return.
 
 use crate::config::ServiceConfig;
+use crate::durability::{DurabilityControl, DurabilityStatsSnapshot};
 use crate::shard::{CandidateScratch, Shard};
 use mbdr_core::wire::snapshot::{encode_snapshot_into, SnapshotEntry};
-use mbdr_core::{DecodeError, Frame, FrameView, Predictor, Update};
+use mbdr_core::{DecodeError, Frame, FrameView, HealthStatus, Predictor, Update};
 use mbdr_geo::{Aabb, Point};
 use mbdr_journal::Journal;
 use serde::{Deserialize, Serialize};
@@ -82,6 +83,10 @@ pub struct LocationService {
     /// [`LocationService::attach_journal`]). `OnceLock` keeps the steady-state
     /// read on the ingest path a plain atomic load.
     journal: OnceLock<Arc<Journal>>,
+    /// Durable / Degraded / Recovered state machine (see [`crate::durability`]):
+    /// which regime journaling is in, and the exact count of frames applied
+    /// without durability while the journal's disk was failing.
+    durability: DurabilityControl,
 }
 
 impl Default for LocationService {
@@ -100,7 +105,12 @@ impl LocationService {
     pub fn with_config(config: ServiceConfig) -> Self {
         let config = config.validated();
         let shards = (0..config.shards).map(|_| Shard::new(config)).collect();
-        LocationService { config, shards, journal: OnceLock::new() }
+        LocationService {
+            config,
+            shards,
+            journal: OnceLock::new(),
+            durability: DurabilityControl::default(),
+        }
     }
 
     /// Attaches an opened [`Journal`]: every later
@@ -240,6 +250,12 @@ impl LocationService {
     /// consistent with the journal's frame count. The append reuses the
     /// borrowed slice (stack-built record header, no re-encode), so journaled
     /// steady-state ingest stays allocation-free too.
+    ///
+    /// A failed append does **not** fail the ingest: the service flips to the
+    /// degraded regime (see [`crate::durability`]), keeps applying frames, and
+    /// counts every un-journaled apply until
+    /// [`LocationService::probe_durability`] heals the journal. The
+    /// steady-state durable path pays one extra relaxed atomic load.
     pub fn apply_frame_bytes(&self, bytes: &[u8]) -> Result<usize, DecodeError> {
         let view = FrameView::parse(bytes)?;
         if view.is_empty() {
@@ -249,7 +265,12 @@ impl LocationService {
         let journal = self.journal.get();
         let applied = self.shard_of(object).write(|s| {
             if let Some(journal) = journal {
-                journal.record_frame(bytes);
+                if self.durability.is_degraded() {
+                    self.durability.note_degraded_frame();
+                } else if !journal.record_frame(bytes) {
+                    self.durability.enter_degraded();
+                    self.durability.note_degraded_frame();
+                }
             }
             view.updates().filter(|u| s.apply_update(object, u)).count()
         });
@@ -288,22 +309,98 @@ impl LocationService {
         let Some(frames) = journal.begin_snapshot() else {
             return;
         };
+        self.write_snapshot(journal, frames);
+    }
+
+    /// Collects every shard's tracker state under read locks, sorted by
+    /// object id (the snapshot codec's canonical order).
+    fn collect_snapshot_entries(&self) -> Vec<SnapshotEntry> {
         let mut entries = Vec::new();
         for shard in &self.shards {
             shard.read(|s| s.snapshot_entries_into(&mut entries));
         }
         entries.sort_unstable_by_key(|e| e.object);
+        entries
+    }
+
+    /// Encodes and installs a snapshot for a grant already obtained from
+    /// [`Journal::begin_snapshot`] / [`Journal::begin_forced_snapshot`].
+    /// Returns whether the snapshot was durably installed; failures are
+    /// counted on the journal and release the grant.
+    fn write_snapshot(&self, journal: &Journal, frames: u64) -> bool {
+        let entries = self.collect_snapshot_entries();
         let mut body = Vec::new();
         match encode_snapshot_into(frames, &entries, &mut body) {
             Ok(()) => {
                 if journal.install_snapshot(frames, &body).is_err() {
                     journal.note_write_error();
+                    return false;
                 }
+                true
             }
             Err(_) => {
                 journal.note_write_error();
                 journal.abort_snapshot();
+                false
             }
+        }
+    }
+
+    /// One durability re-probe: if the service is degraded, checks whether
+    /// the journal's disk accepts writes again
+    /// ([`Journal::repair_and_sync`] — repairs the torn tail and forces an
+    /// fsync) and, if so, installs a **forced** snapshot of the current
+    /// tracker state. The snapshot covers every frame applied while degraded,
+    /// so it re-establishes the durability floor above the un-journaled
+    /// window, and the service flips to [`mbdr_core::DurabilityState::Recovered`]
+    /// — appends journal normally again.
+    ///
+    /// Returns `true` when the service is durable after the call (including
+    /// "was never degraded"); `false` means the disk is still failing and the
+    /// caller should back off and retry (`mbdr-net`'s server runs this on a
+    /// background thread with capped exponential backoff).
+    pub fn probe_durability(&self) -> bool {
+        if !self.durability.is_degraded() {
+            return true;
+        }
+        let Some(journal) = self.journal.get() else {
+            // Unreachable: the service only degrades on a failed journal
+            // append, which requires an attached journal.
+            return true;
+        };
+        self.durability.note_probe_attempt();
+        if journal.repair_and_sync().is_err() {
+            return false;
+        }
+        let Some(frames) = journal.begin_forced_snapshot() else {
+            // A threshold snapshot is in flight; let it finish and retry.
+            return false;
+        };
+        if !self.write_snapshot(journal, frames) {
+            return false;
+        }
+        self.durability.mark_recovered();
+        true
+    }
+
+    /// Point-in-time copy of the durability state machine's counters.
+    pub fn durability_stats(&self) -> DurabilityStatsSnapshot {
+        self.durability.snapshot()
+    }
+
+    /// The service's health summary — the payload of the wire protocol's
+    /// `REQ_HEALTH` / `RESP_HEALTH` pair: durability state, the degraded-window
+    /// frame count, and the attached journal's recovery counters (zeros when
+    /// no journal is attached).
+    pub fn health_status(&self) -> HealthStatus {
+        let durability = self.durability.snapshot();
+        let journal = self.journal.get().map(|j| j.stats()).unwrap_or_default();
+        HealthStatus {
+            state: durability.state,
+            degraded_frames: durability.degraded_frames,
+            recovered_frames: journal.recovered_frames,
+            truncated_bytes: journal.truncated_bytes,
+            append_errors: journal.append_errors,
         }
     }
 

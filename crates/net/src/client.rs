@@ -7,9 +7,10 @@
 //! connection per producer or query thread, exactly like the workloads do.
 
 use crate::error::NetError;
+use crate::retry::RetryPolicy;
 use crate::transport::{read_message_into, write_message, DEFAULT_MAX_MESSAGE_BYTES};
 use mbdr_core::wire::query::decode_positions_into;
-use mbdr_core::{Frame, PositionRecord, Request, Response, ZoneEventRecord};
+use mbdr_core::{Frame, HealthStatus, PositionRecord, Request, Response, ZoneEventRecord};
 use mbdr_geo::{Aabb, Point};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -108,6 +109,18 @@ impl NetClient {
         })
     }
 
+    /// Like [`NetClient::connect_with`], but retried under `policy`'s
+    /// jittered exponential backoff until the connection is established or
+    /// the policy's deadline expires (the last attempt's error is returned).
+    /// Use this when the server may still be mid-recovery at client start.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> std::io::Result<NetClient> {
+        policy.run(|| Self::connect_with(&addr, config))
+    }
+
     /// Replaces a wedged or dead connection with a fresh one to the same
     /// server (same [`ClientConfig`]) and returns the sequence number the
     /// caller should stamp on its next update: strictly above every
@@ -121,6 +134,13 @@ impl NetClient {
         self.reader = reader;
         self.recv_buf.clear();
         Ok(self.max_sequence_sent + 1)
+    }
+
+    /// [`NetClient::reconnect_with_fresh_sequence`] retried under `policy`
+    /// (see [`NetClient::connect_with_retry`]): rides out a server restart
+    /// or recovery window instead of failing on the first refused dial.
+    pub fn reconnect_with_retry(&mut self, policy: RetryPolicy) -> std::io::Result<u64> {
+        policy.run(|| self.reconnect_with_fresh_sequence())
     }
 
     /// The local address of the underlying socket.
@@ -235,6 +255,19 @@ impl NetClient {
             Response::ZoneEvents(events) => Ok(events),
             Response::Error(code) => Err(NetError::Server(code)),
             _ => Err(NetError::UnexpectedResponse("zone events")),
+        }
+    }
+
+    /// The server's durability health summary ([`mbdr_core::HealthStatus`]):
+    /// Durable / Degraded / Recovered state, the count of frames applied
+    /// without journaling while degraded, and the journal's recovery
+    /// counters. Answered on the reactor like any query.
+    pub fn health(&mut self) -> Result<HealthStatus, NetError> {
+        self.send(&Request::Health)?;
+        match self.receive()? {
+            Response::Health(status) => Ok(status),
+            Response::Error(code) => Err(NetError::Server(code)),
+            _ => Err(NetError::UnexpectedResponse("health")),
         }
     }
 

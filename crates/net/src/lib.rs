@@ -22,7 +22,8 @@
 //! * [`sys`] — the readiness backends ([`PollerBackend`]), the one place in
 //!   the workspace with `unsafe` code.
 //! * [`NetClient`] / [`ClientConfig`] / [`FlushSummary`] — one blocking
-//!   connection, with optional connect/read timeouts.
+//!   connection, with optional connect/read timeouts, plus
+//!   [`RetryPolicy`]-backed connect/reconnect for servers that restart.
 //! * [`ServerStats`] / [`ServerStatsSnapshot`] — per-cause counters in the
 //!   `LinkStats` discipline, so tests can assert exactly why a connection
 //!   ended.
@@ -39,6 +40,7 @@
 pub mod client;
 pub mod error;
 mod reactor;
+pub mod retry;
 pub mod server;
 pub mod stats;
 #[allow(unsafe_code)]
@@ -47,6 +49,7 @@ pub mod transport;
 
 pub use client::{ClientConfig, FlushSummary, NetClient};
 pub use error::NetError;
+pub use retry::RetryPolicy;
 pub use server::{NetServer, ServerConfig};
 pub use stats::{ServerStats, ServerStatsSnapshot};
 pub use sys::PollerBackend;

@@ -812,6 +812,17 @@ impl Runtime {
                 conn.st.write_buf = body;
                 fate
             }
+            Request::Health => {
+                let status = self.service.health_status();
+                ServerStats::bump(&self.stats.queries_answered);
+                conn.st.write_buf.clear();
+                let mut body = std::mem::take(&mut conn.st.write_buf);
+                let encoded = Response::Health(status).encode_into(&mut body);
+                let fate =
+                    if encoded.is_ok() { self.queue_response(conn, &body) } else { Fate::Dropped };
+                conn.st.write_buf = body;
+                fate
+            }
             Request::Flush => self.handle_flush(conn),
         }
     }

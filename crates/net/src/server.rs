@@ -64,9 +64,21 @@ use mbdr_locserver::{recover_and_attach, IndexStats, LocationService, RecoveryRe
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// How often the durability re-probe thread re-checks a healthy service
+/// (the check is one relaxed atomic load; reaction latency to a disk
+/// incident is at most one tick).
+const PROBE_IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// First retry delay after a failed re-probe; doubles per consecutive
+/// failure up to [`PROBE_MAX_BACKOFF`].
+const PROBE_MIN_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Cap on the re-probe backoff while the disk stays dead.
+const PROBE_MAX_BACKOFF: Duration = Duration::from_secs(1);
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +143,10 @@ pub struct NetServer {
     /// Present when the server was started via [`NetServer::bind_durable`].
     journal: Option<Arc<Journal>>,
     recovery: Option<RecoveryReport>,
+    /// The durability re-probe thread of a durable server: signalled (flag
+    /// under the mutex set to `true`, condvar notified) at shutdown.
+    probe_signal: Arc<(Mutex<bool>, Condvar)>,
+    probe_handle: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -214,7 +230,7 @@ impl NetServer {
                 accept_loop(&listener, &shutdown, &stats, config, &reactors, &active_conns);
             })?
         };
-        Ok(NetServer {
+        let mut server = NetServer {
             addr,
             service,
             stats,
@@ -226,7 +242,22 @@ impl NetServer {
             pool_threads: 1 + n_reactors + n_workers,
             journal: None,
             recovery: None,
-        })
+            probe_signal: Arc::new((Mutex::new(false), Condvar::new())),
+            probe_handle: None,
+        };
+        // Any journaled service gets the durability re-probe thread — servers
+        // started via `bind_durable`, and services whose caller attached a
+        // journal (e.g. over a fault-injecting Vfs in tests) alike.
+        if server.service.journal().is_some() {
+            let probe_service = Arc::clone(&server.service);
+            let probe_signal = Arc::clone(&server.probe_signal);
+            server.probe_handle = Some(
+                std::thread::Builder::new()
+                    .name("mbdr-net-probe".into())
+                    .spawn(move || probe_loop(&probe_service, &probe_signal))?,
+            );
+        }
+        Ok(server)
     }
 
     /// Like [`NetServer::bind`], but with a durable write-ahead journal:
@@ -240,6 +271,14 @@ impl NetServer {
     /// restores tracker state only for registered objects (a snapshot cannot
     /// carry prediction functions). Inspect what was rebuilt via
     /// [`NetServer::recovery_report`].
+    ///
+    /// A durable server also runs one background **durability re-probe**
+    /// thread (named `mbdr-net-probe`, in addition to the fixed serving pool
+    /// counted by [`NetServer::pool_threads`]): when a failed journal append
+    /// flips the service to the degraded regime, the thread retries
+    /// [`LocationService::probe_durability`] under capped exponential backoff
+    /// until the disk heals, then the service journals normally again — no
+    /// operator action, no serving interruption.
     pub fn bind_durable(
         service: Arc<LocationService>,
         addr: impl ToSocketAddrs,
@@ -264,13 +303,20 @@ impl NetServer {
         &self.service
     }
 
-    /// A copy of the serving counters. On a durable server
-    /// ([`NetServer::bind_durable`]) the journal's counters are overlaid into
-    /// [`ServerStatsSnapshot::journal`].
+    /// A copy of the serving counters. The fronted service's durability
+    /// state machine is always overlaid into
+    /// [`ServerStatsSnapshot::durability`]; on a durable server
+    /// ([`NetServer::bind_durable`]) the journal's counters and the bind-time
+    /// recovery report are additionally overlaid into
+    /// [`ServerStatsSnapshot::journal`] / [`ServerStatsSnapshot::recovery`].
     pub fn stats(&self) -> ServerStatsSnapshot {
         let mut snapshot = self.stats.snapshot();
+        snapshot.durability = self.service.durability_stats();
         if let Some(journal) = &self.journal {
             snapshot.journal = journal.stats();
+        }
+        if let Some(recovery) = &self.recovery {
+            snapshot.recovery = *recovery;
         }
         snapshot
     }
@@ -288,7 +334,10 @@ impl NetServer {
 
     /// The size of the fixed thread pool (accept + reactors + ingest
     /// workers). Connection count does not change it — that is the point;
-    /// the soak tests assert against this number.
+    /// the soak tests assert against this number. A durable server's
+    /// `mbdr-net-probe` thread is deliberately not counted: it belongs to
+    /// the journal lifecycle, not the connection-serving pool whose
+    /// fixedness the connection-scaling gate asserts.
     pub fn pool_threads(&self) -> usize {
         self.pool_threads
     }
@@ -334,12 +383,48 @@ impl NetServer {
         if let Some(journal) = &self.journal {
             let _ = journal.flush();
         }
+        if let Some(probe_handle) = self.probe_handle.take() {
+            let (lock, cvar) = &*self.probe_signal;
+            *locked(lock) = true;
+            cvar.notify_all();
+            let _ = probe_handle.join();
+        }
     }
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// Body of a durable server's `mbdr-net-probe` thread: waits on the
+/// shutdown condvar with a timeout, then runs one durability re-probe.
+/// Healthy services are re-checked every [`PROBE_IDLE_TICK`] (one atomic
+/// load); while the disk stays dead the wait doubles from
+/// [`PROBE_MIN_BACKOFF`] to [`PROBE_MAX_BACKOFF`] so a dying device is not
+/// hammered with fsyncs. The condvar makes shutdown immediate regardless of
+/// the current backoff.
+fn probe_loop(service: &LocationService, signal: &(Mutex<bool>, Condvar)) {
+    let (lock, cvar) = signal;
+    let mut wait = PROBE_IDLE_TICK;
+    let mut fail_streak = 0u32;
+    loop {
+        let guard = locked(lock);
+        let (guard, _timeout) =
+            cvar.wait_timeout(guard, wait).unwrap_or_else(PoisonError::into_inner);
+        if *guard {
+            return;
+        }
+        drop(guard);
+        if service.probe_durability() {
+            fail_streak = 0;
+            wait = PROBE_IDLE_TICK;
+        } else {
+            fail_streak = fail_streak.saturating_add(1);
+            wait =
+                PROBE_MIN_BACKOFF.saturating_mul(1u32 << fail_streak.min(7)).min(PROBE_MAX_BACKOFF);
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 //! violation).
 
 use mbdr_journal::JournalStatsSnapshot;
+use mbdr_locserver::{DurabilityStatsSnapshot, RecoveryReport};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared atomic counters the server threads bump as they work.
@@ -62,9 +63,12 @@ impl ServerStats {
             readiness_wakeups: get(&self.readiness_wakeups),
             spurious_wakeups: get(&self.spurious_wakeups),
             register_failures: get(&self.register_failures),
-            // The journal's counters live on the journal, not here:
-            // `NetServer::stats` overlays them when journaling is enabled.
+            // The journal, durability and recovery counters live on the
+            // journal / service / bind-time report, not here:
+            // `NetServer::stats` overlays them.
             journal: JournalStatsSnapshot::default(),
+            durability: DurabilityStatsSnapshot::default(),
+            recovery: RecoveryReport::default(),
         }
     }
 }
@@ -123,4 +127,14 @@ pub struct ServerStatsSnapshot {
     /// with [`crate::NetServer::bind_durable`]); see
     /// [`mbdr_journal::JournalStatsSnapshot`].
     pub journal: JournalStatsSnapshot,
+    /// Durability state machine counters of the fronted service (state,
+    /// degraded-window frame count, transition and probe counts); see
+    /// [`mbdr_locserver::DurabilityStatsSnapshot`].
+    pub durability: DurabilityStatsSnapshot,
+    /// What crash recovery rebuilt at bind time (all zero unless the server
+    /// was started with [`crate::NetServer::bind_durable`]); see
+    /// [`mbdr_locserver::RecoveryReport`], satellite of the degraded-mode
+    /// observability surface: `truncated_bytes` and the replay counters are
+    /// reachable from one stats call instead of a held journal handle.
+    pub recovery: RecoveryReport,
 }

@@ -4,15 +4,17 @@
 //! with the whole recovery visible through `RecoveryReport` and
 //! `ServerStatsSnapshot::journal`.
 
-use mbdr_core::{Frame, LinearPredictor, ObjectState, Update, UpdateKind};
+use mbdr_core::{DurabilityState, Frame, LinearPredictor, ObjectState, Update, UpdateKind};
 use mbdr_geo::{Aabb, Point};
-use mbdr_journal::{FsyncPolicy, JournalConfig};
+use mbdr_journal::{FaultFs, FsyncPolicy, Journal, JournalConfig};
+use mbdr_locserver::durable::recover_into;
 use mbdr_locserver::{LocationService, ObjectId};
-use mbdr_net::{NetClient, NetServer, ServerConfig};
+use mbdr_net::{ClientConfig, NetClient, NetServer, RetryPolicy, ServerConfig};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const OBJECTS: u64 = 16;
 
@@ -113,6 +115,126 @@ fn durable_server_serves_identical_answers_after_restart() {
     drop(client);
     server.shutdown();
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// A server over a journal whose disk dies mid-stream: serving continues,
+/// the degradation is visible over the wire (`REQ_HEALTH`) and through
+/// `ServerStatsSnapshot::durability` with exact frame accounting — and once
+/// the disk heals, the server's own background probe thread recovers
+/// durability without any operator action.
+#[test]
+fn disk_death_is_observable_and_self_heals_over_the_wire() {
+    let dir = temp_dir("self-heal");
+    let fault = FaultFs::over_real();
+    let service = fleet();
+    let journal = Arc::new(
+        Journal::open_with_vfs(
+            JournalConfig { snapshot_every_frames: 0, ..journal_config(&dir) },
+            Arc::new(fault.clone()),
+        )
+        .expect("open over FaultFs"),
+    );
+    recover_into(&service, &journal).expect("recover");
+    assert!(service.attach_journal(Arc::clone(&journal)));
+    let server =
+        NetServer::bind(service, "127.0.0.1:0", ServerConfig::default()).expect("bind over faults");
+
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let health = client.health().expect("health");
+    assert_eq!(health.state, DurabilityState::Durable);
+    assert_eq!(health.degraded_frames, 0);
+
+    // Durable ingest, then the disk dies mid-stream.
+    for i in 0..4u64 {
+        client.send_frame(&Frame::single(i, update(1, 1.0, 10.0 * i as f64, 0.0))).expect("send");
+    }
+    client.flush().expect("flush");
+    fault.set_dead(true);
+    for i in 4..9u64 {
+        client.send_frame(&Frame::single(i, update(1, 1.0, 10.0 * i as f64, 0.0))).expect("send");
+    }
+    client.flush().expect("degraded flush: serving continues");
+
+    let health = client.health().expect("degraded health");
+    assert_eq!(health.state, DurabilityState::Degraded);
+    assert_eq!(health.degraded_frames, 5, "exactly the un-journaled applies");
+    assert_eq!(health.append_errors, 1, "one failed append flipped the state");
+    let stats = server.stats();
+    assert_eq!(stats.durability.state, DurabilityState::Degraded);
+    assert_eq!(stats.durability.degraded_frames, 5);
+    assert_eq!(stats.durability.degraded_transitions, 1);
+
+    // Queries still answer while degraded — availability over durability.
+    assert_eq!(client.objects_in_rect(&world(), 1.0).expect("rect").len(), 9);
+
+    // Heal the disk; the server's probe thread recovers on its own.
+    fault.set_dead(false);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = client.health().expect("health poll");
+        if health.state == DurabilityState::Recovered {
+            break;
+        }
+        assert!(Instant::now() < deadline, "probe thread failed to recover in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.durability.recovered_transitions, 1);
+    assert!(stats.durability.probe_attempts >= 1);
+    assert_eq!(stats.durability.degraded_frames, 5, "the window's count is preserved");
+    assert_eq!(journal.stats().snapshots, 1, "recovery installed a forced snapshot");
+
+    // Recovered ingest journals again.
+    let appends_before = journal.stats().appends;
+    client.send_frame(&Frame::single(0, update(2, 2.0, 99.0, 0.0))).expect("send");
+    client.flush().expect("flush");
+    assert_eq!(journal.stats().appends, appends_before + 1);
+
+    drop(client);
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `connect_with_retry` rides out a server that is not up yet: dials fail
+/// with refused connections until the listener appears, then succeed within
+/// the policy's deadline.
+#[test]
+fn client_retry_rides_out_a_late_starting_server() {
+    // Reserve an address, then free it so the first dials are refused.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve");
+    let addr = listener.local_addr().expect("addr");
+    drop(listener);
+
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        NetServer::bind(fleet(), addr, ServerConfig::default()).expect("late bind")
+    });
+    let policy = RetryPolicy {
+        initial_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(100),
+        deadline: Duration::from_secs(10),
+        jitter_seed: 9,
+    };
+    let mut client = NetClient::connect_with_retry(addr, ClientConfig::default(), policy)
+        .expect("retry connect");
+    let server = starter.join().expect("server thread");
+    client.send_frame(&Frame::single(0, update(1, 1.0, 5.0, 5.0))).expect("send");
+    assert_eq!(client.flush().expect("flush").updates_applied, 1);
+
+    // And a restart: the old connection dies with the server, the retrying
+    // reconnect picks the service back up on the same address.
+    server.shutdown();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        NetServer::bind(fleet(), addr, ServerConfig::default()).expect("re-bind")
+    });
+    let next_seq = client.reconnect_with_retry(policy).expect("retry reconnect");
+    assert!(next_seq > 1, "resumes above every sequence sent before the restart");
+    let server = starter.join().expect("server thread");
+    client.send_frame(&Frame::single(0, update(next_seq, 3.0, 6.0, 6.0))).expect("send");
+    assert_eq!(client.flush().expect("flush").updates_applied, 1);
+    drop(client);
+    server.shutdown();
 }
 
 #[test]

@@ -20,6 +20,10 @@
 //! * [`lossy`] — the loss-rate sweep over the degraded link: encode → channel
 //!   → decode → apply, reporting accuracy degradation and message overhead as
 //!   functions of the loss rate (`reproduce wire` emits its JSON baseline).
+//! * [`faultplan`] — the seeded disk-outage schedule: `(total_frames, seed)`
+//!   → one deterministic kill/heal window, the pure-function contract behind
+//!   `reproduce faults` (the fsync-kill must be reproducible from the seed
+//!   alone).
 //! * [`fleet`] — many objects tracked concurrently against one shared map
 //!   (the location-service workload of the paper's introduction).
 //! * [`service_workload`] — the whole fleet replayed against one shared,
@@ -47,6 +51,7 @@
 pub mod channel;
 pub mod connscale;
 pub mod degraded;
+pub mod faultplan;
 pub mod fleet;
 pub mod lossy;
 pub mod metrics;
@@ -61,6 +66,7 @@ pub mod sweep;
 pub use channel::{MessageChannel, WirePayload};
 pub use connscale::{run_connscale_workload, ConnScaleConfig, ConnScaleReport};
 pub use degraded::{DegradedChannel, LinkConfig, LinkStats};
+pub use faultplan::FaultPlan;
 pub use fleet::{FleetConfig, FleetResult};
 pub use lossy::{run_loss_sweep, LossPoint, LossSweepConfig, LossSweepResult};
 pub use metrics::{DeviationStats, RunMetrics};
